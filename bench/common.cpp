@@ -1,0 +1,47 @@
+#include "common.hpp"
+
+#include "ghs/core/config_io.hpp"
+#include "ghs/util/error.hpp"
+#include "ghs/util/strings.hpp"
+
+namespace ghs::bench {
+
+CommonCli::CommonCli(std::string program, std::string description,
+                     int default_iterations)
+    : cli_(std::move(program), std::move(description)) {
+  cases_ = cli_.add_string("cases", "all", "all or comma list of C1..C4");
+  iters_ = cli_.add_int("iters", default_iterations,
+                        "timed repetitions per point (paper: 200)");
+  elements_ = cli_.add_int(
+      "elements", 0, "elements per case (0 = the paper's M)");
+  csv_ = cli_.add_flag("csv", "emit CSV instead of tables");
+  config_ = cli_.add_string(
+      "config", "", "properties file overriding the GH200 system model");
+}
+
+CommonOptions CommonCli::parse(int argc, const char* const* argv) {
+  cli_.parse(argc, argv);
+  CommonOptions options;
+  if (*cases_ == "all") {
+    options.cases = workload::all_cases();
+  } else {
+    for (const auto& token : split(*cases_, ',')) {
+      options.cases.push_back(workload::parse_case(token));
+    }
+  }
+  GHS_REQUIRE(*iters_ > 0, "--iters must be positive");
+  GHS_REQUIRE(*elements_ >= 0, "--elements must be non-negative");
+  options.iterations = static_cast<int>(*iters_);
+  options.elements = *elements_;
+  options.csv = *csv_;
+  options.config = config_->empty() ? core::gh200_config()
+                                    : core::load_system_config(*config_);
+  return options;
+}
+
+void print_paper_reference(bool csv, const std::string& text) {
+  if (csv) return;
+  std::cout << "  [paper] " << text << "\n";
+}
+
+}  // namespace ghs::bench

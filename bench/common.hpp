@@ -1,0 +1,55 @@
+// Shared CLI plumbing for the figure/table bench binaries.
+//
+// Every bench accepts:
+//   --cases=all|C1|C2|C3|C4[,..]  cases to run
+//   --iters=N                     timed repetitions (Listing 6/8's N)
+//   --elements=M                  input size (0 = the paper's M per case)
+//   --csv                         machine-readable output
+// Defaults favour a quick full run of `for b in build/bench/*; do $b; done`;
+// pass --iters=200 to execute the paper's exact protocol.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ghs/core/system_config.hpp"
+#include "ghs/util/cli.hpp"
+#include "ghs/workload/cases.hpp"
+
+namespace ghs::bench {
+
+struct CommonOptions {
+  std::vector<workload::CaseId> cases;
+  int iterations = 0;
+  std::int64_t elements = 0;
+  bool csv = false;
+  /// GH200 defaults, or overrides from --config=FILE (see
+  /// ghs/core/config_io.hpp for the key list).
+  core::SystemConfig config;
+};
+
+class CommonCli {
+ public:
+  CommonCli(std::string program, std::string description,
+            int default_iterations);
+
+  /// Registers the shared options; callers may add more before parse().
+  Cli& cli() { return cli_; }
+
+  CommonOptions parse(int argc, const char* const* argv);
+
+ private:
+  Cli cli_;
+  const std::string* cases_;
+  const long long* iters_;
+  const long long* elements_;
+  const bool* csv_;
+  const std::string* config_;
+};
+
+/// Prints the "paper reports ..." reference line benches emit under each
+/// reproduced artefact (suppressed in CSV mode).
+void print_paper_reference(bool csv, const std::string& text);
+
+}  // namespace ghs::bench

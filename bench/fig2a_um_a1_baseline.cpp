@@ -1,0 +1,12 @@
+// Reproduces Fig. 2a: baseline-kernel CPU+GPU co-execution in UM mode with
+// the input array allocated at A1 (once, before the p sweep).
+#include "um_bench.hpp"
+
+int main(int argc, char** argv) {
+  return ghs::bench::run_um_figure(
+      "fig2a_um_a1_baseline", "Fig. 2a (baseline kernel, A1)",
+      ghs::core::AllocSite::kA1, /*optimized=*/false,
+      "highest speedups over GPU-only: 2.732 / 2.246 / 2.692 / 2.297 "
+      "(avg ~2.492)",
+      argc, argv);
+}

@@ -1,0 +1,12 @@
+// Reproduces Fig. 2b: optimized-kernel (teams 65536, V=4 or 32) CPU+GPU
+// co-execution in UM mode with the input array allocated at A1.
+#include "um_bench.hpp"
+
+int main(int argc, char** argv) {
+  return ghs::bench::run_um_figure(
+      "fig2b_um_a1_optimized", "Fig. 2b (optimized kernel, A1)",
+      ghs::core::AllocSite::kA1, /*optimized=*/true,
+      "highest speedups over GPU-only: 2.253 / 3.385 / 2.100 / 2.197 "
+      "(avg ~2.484)",
+      argc, argv);
+}

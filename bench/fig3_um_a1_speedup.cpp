@@ -1,0 +1,12 @@
+// Reproduces Fig. 3: speedup of the optimized co-run (Fig. 2b) over the
+// baseline co-run (Fig. 2a) per CPU fraction, allocation site A1.
+#include "um_bench.hpp"
+
+int main(int argc, char** argv) {
+  return ghs::bench::run_um_speedup(
+      "fig3_um_a1_speedup", "Fig. 3 (optimized/baseline speedup, A1)",
+      ghs::core::AllocSite::kA1,
+      "speedup ranges 0.996..10.654; significant when the GPU part is at "
+      "least 50% of the work",
+      argc, argv);
+}

@@ -1,0 +1,11 @@
+// Reproduces Fig. 4a: baseline-kernel co-execution in UM mode with the
+// input array allocated at A2 (fresh for every p).
+#include "um_bench.hpp"
+
+int main(int argc, char** argv) {
+  return ghs::bench::run_um_figure(
+      "fig4a_um_a2_baseline", "Fig. 4a (baseline kernel, A2)",
+      ghs::core::AllocSite::kA2, /*optimized=*/false,
+      "distributing the reduction does not beat CPU-only execution",
+      argc, argv);
+}

@@ -1,0 +1,12 @@
+// Reproduces Fig. 4b: optimized-kernel co-execution in UM mode with the
+// input array allocated at A2.
+#include "um_bench.hpp"
+
+int main(int argc, char** argv) {
+  return ghs::bench::run_um_figure(
+      "fig4b_um_a2_optimized", "Fig. 4b (optimized kernel, A2)",
+      ghs::core::AllocSite::kA2, /*optimized=*/true,
+      "highest speedups over GPU-only: 1.139 / 1.062 / 1.050 / 1.017 "
+      "(avg ~1.067)",
+      argc, argv);
+}

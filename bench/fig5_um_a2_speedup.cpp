@@ -1,0 +1,12 @@
+// Reproduces Fig. 5: speedup of the optimized co-run (Fig. 4b) over the
+// baseline co-run (Fig. 4a) per CPU fraction, allocation site A2.
+#include "um_bench.hpp"
+
+int main(int argc, char** argv) {
+  return ghs::bench::run_um_speedup(
+      "fig5_um_a2_speedup", "Fig. 5 (optimized/baseline speedup, A2)",
+      ghs::core::AllocSite::kA2,
+      "speedup ranges 0.998..6.729; significant when the GPU part is at "
+      "least 90% of the work",
+      argc, argv);
+}

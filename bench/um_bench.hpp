@@ -1,0 +1,24 @@
+// Shared driver for the UM co-execution figure benches (Figs. 2a/2b/3/4a/
+// 4b/5): runs the Listing 8 protocol sweeps and renders either a bandwidth
+// figure or an optimized-over-baseline speedup figure.
+#pragma once
+
+#include <string>
+
+#include "ghs/core/reduce.hpp"
+
+namespace ghs::bench {
+
+/// Bandwidth-vs-p figure (Figs. 2a, 2b, 4a, 4b).
+int run_um_figure(const std::string& program, const std::string& figure_name,
+                  core::AllocSite site, bool optimized,
+                  const std::string& paper_note, int argc,
+                  const char* const* argv);
+
+/// Speedup figure: optimized sweep divided by baseline sweep (Figs. 3, 5).
+int run_um_speedup(const std::string& program,
+                   const std::string& figure_name, core::AllocSite site,
+                   const std::string& paper_note, int argc,
+                   const char* const* argv);
+
+}  // namespace ghs::bench

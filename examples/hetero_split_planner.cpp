@@ -1,0 +1,86 @@
+// Heterogeneous split planner: the Section IV decision, packaged. Given a
+// case, sweep the CPU fraction p under both allocation sites in unified-
+// memory mode and report (a) the best CPU/GPU split, (b) how much
+// co-execution gains over GPU-only, and (c) whether allocating once (A1)
+// or per-use (A2) is the right call for this workload.
+//
+//   $ ./examples/hetero_split_planner --case=C1 --iters=100
+#include <cstdio>
+
+#include "ghs/core/sweep.hpp"
+#include "ghs/util/cli.hpp"
+
+namespace {
+
+struct SiteOutcome {
+  double best_bw = 0.0;
+  double best_p = 0.0;
+  double gpu_only = 0.0;
+  double cpu_only = 0.0;
+};
+
+SiteOutcome run_site(ghs::workload::CaseId case_id, ghs::core::AllocSite site,
+                     int iters) {
+  ghs::core::UmSweepOptions opts;
+  opts.site = site;
+  opts.optimized = true;
+  opts.iterations = iters;
+  const auto result = ghs::core::um_sweep_case(case_id, opts);
+  SiteOutcome outcome;
+  outcome.gpu_only = result.at(0.0).bandwidth.gbps();
+  outcome.cpu_only = result.at(1.0).bandwidth.gbps();
+  for (const auto& point : result.points) {
+    if (point.bandwidth.gbps() > outcome.best_bw) {
+      outcome.best_bw = point.bandwidth.gbps();
+      outcome.best_p = point.cpu_part;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ghs;
+  Cli cli("hetero_split_planner",
+          "plan the CPU/GPU split for a UM-mode reduction");
+  const auto* case_name = cli.add_string("case", "C1", "C1|C2|C3|C4");
+  const auto* iters =
+      cli.add_int("iters", 100, "repetitions per point (paper: 200)");
+  cli.parse(argc, argv);
+
+  const auto case_id = workload::parse_case(*case_name);
+  const auto& spec = workload::case_spec(case_id);
+  std::printf("planning CPU/GPU split for %s (%s) in UM mode...\n",
+              spec.name, spec.input_type);
+
+  const auto a1 = run_site(case_id, core::AllocSite::kA1,
+                           static_cast<int>(*iters));
+  const auto a2 = run_site(case_id, core::AllocSite::kA2,
+                           static_cast<int>(*iters));
+
+  std::printf("\n  site  GPU-only   CPU-only   best co-run   at p\n");
+  std::printf("  A1   %8.1f   %8.1f   %11.1f   %.1f\n", a1.gpu_only,
+              a1.cpu_only, a1.best_bw, a1.best_p);
+  std::printf("  A2   %8.1f   %8.1f   %11.1f   %.1f\n", a2.gpu_only,
+              a2.cpu_only, a2.best_bw, a2.best_p);
+
+  const auto& better = a1.best_bw >= a2.best_bw ? a1 : a2;
+  const char* site = a1.best_bw >= a2.best_bw ? "A1" : "A2";
+  std::printf("\nadvice:\n");
+  std::printf("  allocate the array %s and give the CPU %.0f%% of the "
+              "elements:\n",
+              a1.best_bw >= a2.best_bw
+                  ? "once, before the processing loop (A1)"
+                  : "per use (A2)",
+              better.best_p * 100.0);
+  std::printf("  -> %.1f GB/s, %.3fx over offloading everything to the "
+              "GPU (%s)\n",
+              better.best_bw, better.best_bw / better.gpu_only, site);
+  if (a1.cpu_only < a2.cpu_only) {
+    std::printf("  note: with A1 a later CPU-only phase would run %.3fx "
+                "slower (pages stranded in HBM)\n",
+                a2.cpu_only / a1.cpu_only);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: simulate the paper's optimized sum reduction on the GH200
+// model, print the achieved bandwidth, and functionally verify the
+// reduction semantics on real data.
+//
+//   $ ./examples/quickstart
+//
+// Walkthrough:
+//   1. Boot a simulated Grace-Hopper Platform (GH200 preset).
+//   2. Run the Listing 6 benchmark protocol for case C1 (int32) with the
+//      paper's best tuning (teams 65536, thread_limit 256, V = 4).
+//   3. Compare against the untuned baseline (runtime-heuristic grid).
+//   4. Verify on host data that the parallel reduction computes the same
+//      sum as a serial loop.
+#include <cstdio>
+
+#include "ghs/core/reduce.hpp"
+#include "ghs/core/verify.hpp"
+
+int main() {
+  using namespace ghs;
+  const auto case_id = workload::CaseId::kC1;
+  const auto& spec = workload::case_spec(case_id);
+
+  // --- 2. optimized reduction -------------------------------------------
+  core::Platform optimized_platform;  // fresh simulated GH200
+  core::GpuBenchmark optimized;
+  optimized.case_id = case_id;
+  optimized.tuning = core::paper_best_tuning(case_id);
+  optimized.iterations = 20;
+  const auto opt = core::run_gpu_benchmark(optimized_platform, optimized);
+
+  // --- 3. baseline ---------------------------------------------------------
+  core::Platform baseline_platform;
+  core::GpuBenchmark baseline;
+  baseline.case_id = case_id;
+  baseline.iterations = 20;
+  const auto base = core::run_gpu_benchmark(baseline_platform, baseline);
+
+  std::printf("case %s (%s -> %s), M = %lld elements\n", spec.name,
+              spec.input_type, spec.result_type,
+              static_cast<long long>(spec.paper_elements));
+  std::printf("  baseline  : %8.1f GB/s (runtime-heuristic grid)\n",
+              base.bandwidth.gbps());
+  std::printf("  optimized : %8.1f GB/s (teams=%lld, thread_limit=%d, "
+              "V=%d)\n",
+              opt.bandwidth.gbps(),
+              static_cast<long long>(optimized.tuning->teams),
+              optimized.tuning->thread_limit, optimized.tuning->v);
+  std::printf("  speedup   : %8.3fx\n",
+              opt.bandwidth.gbps() / base.bandwidth.gbps());
+  std::printf("  efficiency: %8.1f%% of the 4022.7 GB/s peak\n",
+              100.0 * opt.bandwidth.gbps() / 4022.7);
+
+  // --- 4. functional verification ----------------------------------------
+  const auto input = workload::HostArray::make(
+      case_id, 1 << 20, workload::Pattern::kUniform, /*seed=*/2024);
+  const auto report = core::verify_gpu_reduction(
+      input, /*chunks=*/65536 / 4, core::default_tolerance(case_id));
+  std::printf("  verify    : serial=%s parallel=%s -> %s\n",
+              report.reference.to_string().c_str(),
+              report.parallel.to_string().c_str(),
+              report.ok ? "OK" : "MISMATCH");
+  return report.ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Roofline-style view of the simulated H100's reduction performance: for
+// each case, the latency-bound slope (bandwidth vs concurrency, from the
+// warp-MLP model) against the DRAM ceiling, with the paper's baseline and
+// optimized operating points marked. Rendered with the ASCII chart.
+//
+//   $ ./examples/roofline --case=C2
+#include <cstdio>
+#include <iostream>
+
+#include "ghs/core/sweep.hpp"
+#include "ghs/gpu/occupancy.hpp"
+#include "ghs/stats/chart.hpp"
+#include "ghs/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ghs;
+  Cli cli("roofline", "latency slope vs DRAM ceiling for a case");
+  const auto* case_name = cli.add_string("case", "C1", "C1|C2|C3|C4");
+  cli.parse(argc, argv);
+  const auto case_id = workload::parse_case(*case_name);
+  const auto& spec = workload::case_spec(case_id);
+
+  const core::SystemConfig config = core::gh200_config();
+  const auto tuning = core::paper_best_tuning(case_id);
+  const double ceiling = config.gpu.stream_efficiency(spec.element_size) *
+                         config.topology.hbm_bw.gbps();
+  const double cta_gbps =
+      gpu::cta_rate_cap(config.gpu, tuning.thread_limit, tuning.v,
+                        spec.element_size) /
+      1e9;
+
+  stats::Figure figure(std::string("roofline, ") + spec.name +
+                           " (teams axis, thread_limit 256)",
+                       "teams", "GB/s");
+  auto& slope = figure.add_series("MLP slope");
+  auto& roof = figure.add_series("DRAM roof");
+  auto& measured = figure.add_series("simulated");
+  for (std::int64_t teams = 128; teams <= 65536; teams *= 2) {
+    const double concurrency_bound =
+        static_cast<double>(teams / tuning.v) * cta_gbps;
+    slope.add(static_cast<double>(teams),
+              std::min(concurrency_bound, ceiling * 1.15));
+    roof.add(static_cast<double>(teams), ceiling);
+
+    core::Platform platform(config);
+    core::GpuBenchmark bench;
+    bench.case_id = case_id;
+    bench.tuning = core::ReduceTuning{teams, tuning.thread_limit, tuning.v};
+    bench.iterations = 3;
+    bench.elements = 1 << 26;
+    measured.add(static_cast<double>(teams),
+                 core::run_gpu_benchmark(platform, bench).bandwidth.gbps());
+  }
+
+  stats::ChartOptions options;
+  options.log_x = true;
+  stats::render_chart(figure, std::cout, options);
+  std::printf("\nknee: teams ~ %.0f (x V) where the MLP slope meets the "
+              "%.0f GB/s roof; per-CTA cap %.2f GB/s\n",
+              ceiling / cta_gbps * tuning.v, ceiling, cta_gbps);
+  std::printf("paper operating point: teams=65536, V=%d -> on the roof\n",
+              tuning.v);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// What-if system explorer: the simulator as a design tool. Rebuilds the
+// platform with modified hardware parameters — a narrower NVLink-C2C, a
+// future faster HBM, a bigger Grace socket — and reruns the paper's
+// headline experiments to see which conclusions survive the change.
+//
+//   $ ./examples/what_if_system
+#include <cstdio>
+
+#include "ghs/core/sweep.hpp"
+
+namespace {
+
+using namespace ghs;
+
+struct Headline {
+  double optimized_gbps = 0.0;
+  double best_corun_speedup = 0.0;  // optimized, A1, over GPU-only
+};
+
+Headline run(const core::SystemConfig& config) {
+  Headline h;
+  {
+    core::Platform platform(config);
+    core::GpuBenchmark bench;
+    bench.case_id = workload::CaseId::kC1;
+    bench.tuning = core::paper_best_tuning(workload::CaseId::kC1);
+    bench.iterations = 10;
+    h.optimized_gbps =
+        core::run_gpu_benchmark(platform, bench).bandwidth.gbps();
+  }
+  {
+    core::UmSweepOptions opts;
+    opts.optimized = true;
+    opts.iterations = 100;
+    opts.config = config;
+    const auto sweep = core::um_sweep_case(workload::CaseId::kC1, opts);
+    h.best_corun_speedup = sweep.best_speedup_over_gpu_only();
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  struct Variant {
+    const char* name;
+    core::SystemConfig config;
+  };
+  Variant variants[] = {
+      {"GH200 testbed (paper)", core::gh200_config()},
+      {"half-rate C2C (225 GB/s/dir)", core::gh200_config()},
+      {"HBM4-class GPU (6.5 TB/s)", core::gh200_config()},
+      {"double CPU memory (1 TB/s LPDDR)", core::gh200_config()},
+      {"fast UM faults (60 GB/s)", core::gh200_config()},
+  };
+  variants[1].config.topology.c2c_per_direction_bw =
+      Bandwidth::from_gbps(225.0);
+  variants[2].config.topology.hbm_bw = Bandwidth::from_gbps(6500.0);
+  variants[3].config.topology.lpddr_bw = Bandwidth::from_gbps(1000.0);
+  variants[3].config.cpu.aggregate_local_bw = Bandwidth::from_gbps(960.0);
+  variants[3].config.cpu.socket_stream_bw = Bandwidth::from_gbps(1040.0);
+  variants[4].config.um.fault_migration_bw = Bandwidth::from_gbps(60.0);
+
+  std::printf("%-36s %18s %22s\n", "system variant", "opt C1 (GB/s)",
+              "best co-run speedup");
+  for (const auto& variant : variants) {
+    const auto h = run(variant.config);
+    std::printf("%-36s %18.1f %22.3f\n", variant.name, h.optimized_gbps,
+                h.best_corun_speedup);
+  }
+  std::printf("\nreading: the co-run win shrinks as UM faults get faster "
+              "(the GPU-only reference improves), and grows with CPU "
+              "memory bandwidth — the paper's conclusion is sensitive to "
+              "exactly these two parameters.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduces every table and figure of the paper at the full protocol
+# (N = 200 where the metric depends on it) and writes the outputs under
+# results/. Run from the repository root after building.
+set -euo pipefail
+BUILD=${1:-build}
+OUT=results
+mkdir -p "$OUT"
+
+run() {
+  local name=$1; shift
+  echo "== $name =="
+  "$@" | tee "$OUT/$name.txt"
+}
+
+run table1   "$BUILD/bench/table1_baseline_vs_optimized" --iters=200
+run fig1     "$BUILD/bench/fig1_gpu_sweep" --iters=200
+run fig2a    "$BUILD/bench/fig2a_um_a1_baseline" --iters=200
+run fig2b    "$BUILD/bench/fig2b_um_a1_optimized" --iters=200
+run fig3     "$BUILD/bench/fig3_um_a1_speedup" --iters=200
+run fig4a    "$BUILD/bench/fig4a_um_a2_baseline" --iters=200
+run fig4b    "$BUILD/bench/fig4b_um_a2_optimized" --iters=200
+run fig5     "$BUILD/bench/fig5_um_a2_speedup" --iters=200
+run summary  "$BUILD/bench/summary_stats" --iters=200
+run ablation_grid     "$BUILD/bench/ablation_grid_heuristic"
+run ablation_combine  "$BUILD/bench/ablation_combine_strategy"
+run ablation_strategy "$BUILD/bench/ablation_reduction_strategy"
+run ablation_um       "$BUILD/bench/ablation_um_policy"
+run ablation_prefetch "$BUILD/bench/ablation_prefetch"
+run ablation_schedule "$BUILD/bench/ablation_cpu_schedule"
+echo "all outputs in $OUT/"

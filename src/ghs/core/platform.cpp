@@ -1,0 +1,28 @@
+#include "ghs/core/platform.hpp"
+
+namespace ghs::core {
+
+Platform::Platform(const SystemConfig& config) : config_(config) {
+  topology_ = std::make_unique<mem::Topology>(sim_, config_.topology);
+  transfers_ = std::make_unique<mem::TransferEngine>(*topology_);
+  um_ = std::make_unique<um::UmManager>(*topology_, *transfers_, config_.um);
+  gpu_ = std::make_unique<gpu::GpuDevice>(sim_, *topology_, *um_,
+                                          config_.gpu);
+  cpu_ = std::make_unique<cpu::CpuDevice>(sim_, *topology_, *um_,
+                                          config_.cpu);
+  runtime_ = std::make_unique<omp::Runtime>(sim_, *transfers_, *um_, *gpu_,
+                                            *cpu_, config_.omp);
+}
+
+trace::Tracer& Platform::enable_tracing() {
+  if (!tracer_) {
+    tracer_ = std::make_unique<trace::Tracer>();
+    gpu_->set_tracer(tracer_.get());
+    cpu_->set_tracer(tracer_.get());
+    um_->set_tracer(tracer_.get());
+    runtime_->set_tracer(tracer_.get());
+  }
+  return *tracer_;
+}
+
+}  // namespace ghs::core

@@ -1,0 +1,62 @@
+// The assembled simulated machine: simulator + memory topology + UM manager
+// + GPU + CPU + OpenMP runtime, wired together in dependency order. One
+// Platform is one "boot" of the machine; benchmark points that must not
+// share state (e.g. independent Fig. 1 sweep points) each construct a fresh
+// Platform, while the UM allocation-site experiments deliberately reuse one
+// so page residency history carries across the p-sweep, as it does on the
+// real machine.
+#pragma once
+
+#include <memory>
+
+#include "ghs/core/system_config.hpp"
+#include "ghs/cpu/device.hpp"
+#include "ghs/gpu/device.hpp"
+#include "ghs/mem/topology.hpp"
+#include "ghs/mem/transfer.hpp"
+#include "ghs/omp/runtime.hpp"
+#include "ghs/sim/simulator.hpp"
+#include "ghs/trace/tracer.hpp"
+#include "ghs/um/manager.hpp"
+
+namespace ghs::core {
+
+class Platform {
+ public:
+  explicit Platform(const SystemConfig& config = gh200_config());
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  const SystemConfig& config() const { return config_; }
+  sim::Simulator& sim() { return sim_; }
+  mem::Topology& topology() { return *topology_; }
+  mem::TransferEngine& transfers() { return *transfers_; }
+  um::UmManager& um() { return *um_; }
+  gpu::GpuDevice& gpu() { return *gpu_; }
+  cpu::CpuDevice& cpu() { return *cpu_; }
+  omp::Runtime& runtime() { return *runtime_; }
+
+  /// Drains the event queue (runs all scheduled work to completion).
+  void run() { sim_.run(); }
+
+  /// Turns on execution tracing for this platform; all devices start
+  /// recording spans into the returned tracer. Idempotent.
+  trace::Tracer& enable_tracing();
+
+  /// The installed tracer, or nullptr when tracing is off.
+  trace::Tracer* tracer() { return tracer_.get(); }
+
+ private:
+  std::unique_ptr<trace::Tracer> tracer_;
+  SystemConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<mem::Topology> topology_;
+  std::unique_ptr<mem::TransferEngine> transfers_;
+  std::unique_ptr<um::UmManager> um_;
+  std::unique_ptr<gpu::GpuDevice> gpu_;
+  std::unique_ptr<cpu::CpuDevice> cpu_;
+  std::unique_ptr<omp::Runtime> runtime_;
+};
+
+}  // namespace ghs::core

@@ -1,0 +1,131 @@
+// Public reduction API: the paper's baseline (Listing 2) and optimized
+// (Listing 5) GPU reductions, and the two measurement protocols —
+// Listing 6 (GPU-only, explicit map, N timed repetitions) and Listing 8
+// (CPU+GPU co-execution in UM mode over a sweep of CPU fractions p, with
+// the input array allocated at site A1 — once, before the sweep — or A2 —
+// fresh for every p).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ghs/core/platform.hpp"
+#include "ghs/workload/cases.hpp"
+
+namespace ghs::core {
+
+/// Tuning of the optimized reduction. `teams` is the paper's x-axis value;
+/// the emitted num_teams clause is teams / v, exactly as Listing 5 writes
+/// it. A baseline run is the absence of tuning (std::nullopt): the bare
+/// combined construct with the runtime heuristic picking the grid.
+struct ReduceTuning {
+  std::int64_t teams = 65536;
+  int thread_limit = 256;
+  int v = 4;
+  /// Combine abstraction (extension beyond the paper; the vendor default
+  /// is the shared-memory tree + per-CTA atomic).
+  gpu::CombineStrategy strategy = gpu::CombineStrategy::kAtomicPerCta;
+};
+
+/// The parameters the paper selects for the UM co-execution experiments
+/// (teams = 65536; V = 4 for C1/C3/C4, V = 32 for C2).
+ReduceTuning paper_best_tuning(workload::CaseId case_id);
+
+/// Builds the offload loop for a case (shared by protocols and tests).
+/// `elements` is the sub-range length; `unified` selects UM mode.
+omp::OffloadLoop make_reduction_loop(workload::CaseId case_id,
+                                     std::int64_t elements, int v,
+                                     bool unified, um::AllocId managed_alloc,
+                                     Bytes range_offset);
+
+/// Clauses for a tuning (or the empty clause set for the baseline).
+omp::TeamsClauses make_clauses(const std::optional<ReduceTuning>& tuning);
+
+// ---------------------------------------------------------------------------
+// Listing 6: GPU-only benchmark in explicit-map mode.
+// ---------------------------------------------------------------------------
+
+struct GpuBenchmark {
+  workload::CaseId case_id = workload::CaseId::kC1;
+  std::optional<ReduceTuning> tuning;  // nullopt = baseline
+  /// Elements to reduce; 0 means the paper's M for the case.
+  std::int64_t elements = 0;
+  /// Timed repetitions (the paper's N = 200).
+  int iterations = 200;
+};
+
+struct GpuBenchmarkResult {
+  SimTime elapsed = 0;           // over all timed repetitions
+  Bandwidth bandwidth;           // 1e-9 * M * sizeof(T) * N / elapsed
+  int iterations = 0;
+  Bytes bytes_per_iteration = 0;
+  SimTime last_kernel_duration = 0;
+};
+
+/// Runs the Listing 6 protocol on a fresh region of the platform: map the
+/// input (untimed), then N x (update-to + kernel + update-from), timed.
+GpuBenchmarkResult run_gpu_benchmark(Platform& platform,
+                                     const GpuBenchmark& bench);
+
+// ---------------------------------------------------------------------------
+// Listing 8: CPU+GPU co-execution sweep in UM mode.
+// ---------------------------------------------------------------------------
+
+enum class AllocSite {
+  kA1,  // allocate once, before the p sweep
+  kA2,  // allocate fresh for every p
+};
+
+const char* alloc_site_name(AllocSite site);
+
+struct HeteroBenchmark {
+  workload::CaseId case_id = workload::CaseId::kC1;
+  std::optional<ReduceTuning> tuning;  // nullopt = baseline GPU kernel
+  AllocSite site = AllocSite::kA1;
+  /// CPU fractions to sweep (the paper uses 0.0 .. 1.0 step 0.1).
+  std::vector<double> cpu_parts;
+  std::int64_t elements = 0;  // 0 = paper M
+  int iterations = 200;       // N per p value
+  int cpu_threads = 72;
+  bool cpu_simd = true;
+  /// Host worksharing-loop schedule (the paper's code is static).
+  cpu::ScheduleKind cpu_schedule = cpu::ScheduleKind::kStatic;
+  /// Extension beyond the paper: issue a cudaMemPrefetchAsync-style
+  /// placement before each p's timed loop (GPU part to HBM, CPU part to
+  /// LPDDR), as a tuned application would. With A2 this recovers most of
+  /// the A1 warm-residency benefit — see bench/ablation_prefetch.
+  bool prefetch = false;
+  /// Extension beyond the paper: mark the input read-mostly
+  /// (cudaMemAdviseSetReadMostly), so both processors read local replicas
+  /// once the duplication warm-up completes.
+  bool read_mostly_advice = false;
+};
+
+struct HeteroPoint {
+  double cpu_part = 0.0;
+  SimTime elapsed = 0;
+  Bandwidth bandwidth;
+  /// GPU bytes served from CPU-resident pages across the point's
+  /// repetitions (a UM diagnostics signal).
+  Bytes gpu_remote_bytes = 0;
+  Bytes cpu_remote_bytes = 0;
+};
+
+struct HeteroBenchmarkResult {
+  std::vector<HeteroPoint> points;
+
+  const HeteroPoint& at(double p) const;
+  /// Best speedup of any point over the p = 0 (GPU-only) point.
+  double best_speedup_over_gpu_only() const;
+};
+
+/// Runs the Listing 8 protocol. The platform must be freshly constructed:
+/// residency history accumulating across the sweep is part of the
+/// experiment (it is the entire A1-vs-A2 story).
+HeteroBenchmarkResult run_hetero_benchmark(Platform& platform,
+                                           const HeteroBenchmark& bench);
+
+/// The paper's p grid: 0.0, 0.1, ..., 1.0.
+std::vector<double> paper_cpu_parts();
+
+}  // namespace ghs::core

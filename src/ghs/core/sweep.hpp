@@ -1,0 +1,98 @@
+// Drivers that regenerate the paper's figures and tables. Each bench binary
+// is a thin CLI around one of these; tests exercise them at reduced scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ghs/core/reduce.hpp"
+#include "ghs/core/system_config.hpp"
+#include "ghs/stats/series.hpp"
+#include "ghs/workload/cases.hpp"
+
+namespace ghs::core {
+
+/// Common sweep controls. Every Fig. 1 point runs on a fresh Platform
+/// (explicit-map points share no state); bandwidth is insensitive to the
+/// repetition count there, so `iterations` defaults below the paper's 200
+/// to keep the harness quick — pass --iters=200 for the full protocol.
+struct SweepOptions {
+  std::vector<std::int64_t> teams = {128,  256,  512,   1024,  2048,
+                                     4096, 8192, 16384, 32768, 65536};
+  std::vector<int> vs = {1, 2, 4, 8, 16, 32};
+  int thread_limit = 256;
+  int iterations = 25;
+  std::int64_t elements = 0;  // 0 = the case's paper M
+  SystemConfig config = gh200_config();
+};
+
+/// Fig. 1a-1d: bandwidth (GB/s) vs number of teams, one series per V.
+stats::Figure fig1_sweep(workload::CaseId case_id, const SweepOptions& opts);
+
+/// Table 1 row: baseline vs best optimized configuration.
+struct Table1Row {
+  workload::CaseId case_id;
+  double baseline_gbps = 0.0;
+  double optimized_gbps = 0.0;
+  double speedup = 0.0;
+  double baseline_efficiency = 0.0;   // fraction of peak
+  double optimized_efficiency = 0.0;
+  ReduceTuning best;                   // argmax of the sweep
+};
+
+std::vector<Table1Row> table1(const std::vector<workload::CaseId>& cases,
+                              const SweepOptions& opts);
+
+/// Controls for the UM co-execution sweeps (Figs. 2-5).
+struct UmSweepOptions {
+  AllocSite site = AllocSite::kA1;
+  bool optimized = false;  // false = baseline kernel (Figs. 2a/4a)
+  std::vector<double> cpu_parts = paper_cpu_parts();
+  int iterations = 200;
+  std::int64_t elements = 0;
+  SystemConfig config = gh200_config();
+};
+
+/// One case's full p-sweep (fresh platform per case, shared across p).
+HeteroBenchmarkResult um_sweep_case(workload::CaseId case_id,
+                                    const UmSweepOptions& opts);
+
+/// Figs. 2a/2b/4a/4b: bandwidth vs p, one series per case.
+stats::Figure um_figure(const std::vector<workload::CaseId>& cases,
+                        const UmSweepOptions& opts);
+
+/// Figs. 3/5: point-wise speedup of `optimized` over `baseline`.
+stats::Figure speedup_figure(const stats::Figure& baseline,
+                             const stats::Figure& optimized,
+                             const std::string& title);
+
+/// The prose statistics of Section IV.B, computed from the four sweeps.
+struct CorunSummary {
+  double avg_best_speedup_baseline_a1 = 0.0;   // paper ~2.492
+  double avg_best_speedup_optimized_a1 = 0.0;  // paper ~2.484
+  double avg_best_speedup_baseline_a2 = 0.0;
+  double avg_best_speedup_optimized_a2 = 0.0;  // paper ~1.067
+  double a1_over_a2_optimized = 0.0;           // paper ~2.299
+  double cpu_only_a2_over_a1 = 0.0;            // paper ~1.367
+  double fig3_speedup_min = 0.0;               // paper 0.996
+  double fig3_speedup_max = 0.0;               // paper 10.654
+  double fig5_speedup_min = 0.0;               // paper 0.998
+  double fig5_speedup_max = 0.0;               // paper 6.729
+};
+
+struct UmExperimentSet {
+  std::vector<workload::CaseId> cases;
+  std::vector<HeteroBenchmarkResult> baseline_a1;
+  std::vector<HeteroBenchmarkResult> optimized_a1;
+  std::vector<HeteroBenchmarkResult> baseline_a2;
+  std::vector<HeteroBenchmarkResult> optimized_a2;
+};
+
+/// Runs all four UM sweeps for the given cases.
+UmExperimentSet run_um_experiments(const std::vector<workload::CaseId>& cases,
+                                   const UmSweepOptions& base_opts);
+
+CorunSummary summarize_corun(const UmExperimentSet& set);
+
+}  // namespace ghs::core

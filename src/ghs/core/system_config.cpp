@@ -1,0 +1,12 @@
+#include "ghs/core/system_config.hpp"
+
+namespace ghs::core {
+
+SystemConfig gh200_config() {
+  // All defaults in the substrate configs are already the GH200 values;
+  // this function is the single place to adjust them together if a
+  // different testbed is ever modelled.
+  return SystemConfig{};
+}
+
+}  // namespace ghs::core

@@ -1,0 +1,32 @@
+// Aggregate configuration of the simulated Grace-Hopper system: one struct
+// gathering all substrate configs, with the GH200 preset the paper's
+// testbed corresponds to. Benches construct ablated variants by mutating a
+// copy of the preset.
+#pragma once
+
+#include "ghs/cpu/config.hpp"
+#include "ghs/gpu/config.hpp"
+#include "ghs/mem/topology.hpp"
+#include "ghs/omp/runtime.hpp"
+#include "ghs/um/policy.hpp"
+
+namespace ghs::core {
+
+struct SystemConfig {
+  mem::TopologyConfig topology;
+  um::UmPolicy um;
+  gpu::GpuConfig gpu;
+  cpu::CpuConfig cpu;
+  omp::RuntimeOptions omp;
+};
+
+/// The GH200 testbed of the paper: 72-core Grace, H100 with 96 GB HBM3 at a
+/// peak of 4022.7 GB/s, NVLink-C2C, CUDA 12.4-era software behaviour.
+SystemConfig gh200_config();
+
+/// Peak GPU memory bandwidth used for the paper's "Efficiency" column.
+inline Bandwidth peak_gpu_bandwidth(const SystemConfig& config) {
+  return config.topology.hbm_bw;
+}
+
+}  // namespace ghs::core

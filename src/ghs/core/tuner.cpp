@@ -1,0 +1,109 @@
+#include "ghs/core/tuner.hpp"
+
+#include <algorithm>
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/log.hpp"
+#include "ghs/util/math.hpp"
+
+namespace ghs::core {
+
+namespace {
+
+/// Evaluates one configuration on a fresh platform; returns GB/s.
+double probe(workload::CaseId case_id, const ReduceTuning& tuning,
+             const TunerOptions& options) {
+  Platform platform(options.config);
+  GpuBenchmark bench;
+  bench.case_id = case_id;
+  bench.tuning = tuning;
+  bench.elements = options.elements;
+  bench.iterations = options.iterations;
+  return run_gpu_benchmark(platform, bench).bandwidth.gbps();
+}
+
+bool in_bounds(const ReduceTuning& t, const TunerOptions& o) {
+  return t.teams >= o.min_teams && t.teams <= o.max_teams && t.v >= o.min_v &&
+         t.v <= o.max_v && t.thread_limit >= o.min_thread_limit &&
+         t.thread_limit <= o.max_thread_limit && t.teams % t.v == 0;
+}
+
+}  // namespace
+
+TunerResult tune_reduction(workload::CaseId case_id, ReduceTuning seed,
+                           const TunerOptions& options) {
+  GHS_REQUIRE(is_pow2(seed.teams) && is_pow2(seed.v) &&
+                  is_pow2(seed.thread_limit),
+              "seed must lie on the power-of-two lattice");
+  GHS_REQUIRE(in_bounds(seed, options), "seed outside the search bounds");
+
+  TunerResult result;
+  const auto evaluate = [&](const ReduceTuning& tuning) {
+    const double gbps = probe(case_id, tuning, options);
+    result.probes.push_back(TunerProbe{tuning, gbps});
+    return gbps;
+  };
+
+  ReduceTuning current = seed;
+  double current_gbps = evaluate(current);
+  result.best = current;
+  result.best_gbps = current_gbps;
+
+  bool improved = true;
+  while (improved &&
+         result.probes.size() < static_cast<std::size_t>(options.max_probes)) {
+    improved = false;
+    // Candidate moves: double/halve each tuned coordinate.
+    std::vector<ReduceTuning> candidates;
+    for (int direction : {+1, -1}) {
+      ReduceTuning t = current;
+      t.teams = direction > 0 ? current.teams * 2 : current.teams / 2;
+      candidates.push_back(t);
+      t = current;
+      t.v = direction > 0 ? current.v * 2 : std::max(1, current.v / 2);
+      candidates.push_back(t);
+      if (options.tune_thread_limit) {
+        t = current;
+        t.thread_limit = direction > 0 ? current.thread_limit * 2
+                                       : current.thread_limit / 2;
+        candidates.push_back(t);
+      }
+    }
+    for (const auto& candidate : candidates) {
+      if (!in_bounds(candidate, options)) continue;
+      if (result.probes.size() >=
+          static_cast<std::size_t>(options.max_probes)) {
+        break;
+      }
+      const double gbps = evaluate(candidate);
+      if (gbps > current_gbps * (1.0 + 1e-6)) {
+        current = candidate;
+        current_gbps = gbps;
+        improved = true;
+      }
+      if (gbps > result.best_gbps) {
+        result.best = candidate;
+        result.best_gbps = gbps;
+      }
+    }
+  }
+  GHS_INFO("tuner: " << result.evaluations() << " probes, best "
+                     << result.best_gbps << " GB/s at teams="
+                     << result.best.teams << " v=" << result.best.v);
+  return result;
+}
+
+TunerResult tune_reduction(workload::CaseId case_id,
+                           const TunerOptions& options) {
+  ReduceTuning seed;
+  seed.teams = std::clamp<std::int64_t>(4096, options.min_teams,
+                                        options.max_teams);
+  seed.thread_limit =
+      std::clamp(256, options.min_thread_limit, options.max_thread_limit);
+  seed.v = std::clamp(4, options.min_v, options.max_v);
+  // Keep the lattice constraint teams % v == 0 after clamping.
+  while (seed.teams % seed.v != 0 && seed.v > 1) seed.v /= 2;
+  return tune_reduction(case_id, seed, options);
+}
+
+}  // namespace ghs::core

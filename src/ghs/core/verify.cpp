@@ -1,0 +1,77 @@
+#include "ghs/core/verify.hpp"
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/math.hpp"
+
+namespace ghs::core {
+
+namespace {
+
+VerificationReport make_report(const workload::HostArray& input,
+                               workload::SumValue reference,
+                               workload::SumValue parallel, double rel_tol) {
+  VerificationReport report;
+  report.reference = reference;
+  report.parallel = parallel;
+  if (workload::case_spec(input.case_id()).floating) {
+    report.relative_error = relative_difference(reference.d, parallel.d);
+  } else {
+    report.relative_error = reference.i == parallel.i ? 0.0 : 1.0;
+  }
+  report.ok = parallel.matches(reference, rel_tol);
+  return report;
+}
+
+}  // namespace
+
+double default_tolerance(workload::CaseId case_id) {
+  switch (case_id) {
+    case workload::CaseId::kC1:
+    case workload::CaseId::kC2:
+      return 0.0;
+    case workload::CaseId::kC3:
+      return 1e-3;  // float32 over ~1e6 elements reassociated
+    case workload::CaseId::kC4:
+      return 1e-9;
+  }
+  return 0.0;
+}
+
+VerificationReport verify_gpu_reduction(const workload::HostArray& input,
+                                        std::int64_t chunks, double rel_tol) {
+  GHS_REQUIRE(chunks > 0, "chunks=" << chunks);
+  return make_report(input, input.serial_sum(), input.chunked_sum(chunks),
+                     rel_tol);
+}
+
+VerificationReport verify_coexec(const workload::HostArray& input,
+                                 std::int64_t split, std::int64_t gpu_chunks,
+                                 double rel_tol) {
+  const std::int64_t n = input.elements();
+  GHS_REQUIRE(split >= 0 && split <= n, "split=" << split << " n=" << n);
+  GHS_REQUIRE(gpu_chunks > 0, "gpu_chunks=" << gpu_chunks);
+
+  const workload::SumValue zero =
+      workload::case_spec(input.case_id()).floating
+          ? workload::SumValue::of_float(0.0)
+          : workload::SumValue::of_int(0);
+  const workload::SumValue sum_h =
+      split > 0 ? input.range_sum(0, split) : zero;
+  // Device part: partial sums over [split, n) in gpu_chunks pieces.
+  workload::SumValue sum_d = zero;
+  if (split < n) {
+    const std::int64_t len = n - split;
+    const std::int64_t chunk =
+        (len + gpu_chunks - 1) / gpu_chunks;
+    for (std::int64_t first = split; first < n; first += chunk) {
+      const std::int64_t last = std::min(n, first + chunk);
+      sum_d = workload::HostArray::combine(input.case_id(), sum_d,
+                                           input.range_sum(first, last));
+    }
+  }
+  const workload::SumValue total =
+      workload::HostArray::combine(input.case_id(), sum_h, sum_d);
+  return make_report(input, input.serial_sum(), total, rel_tol);
+}
+
+}  // namespace ghs::core

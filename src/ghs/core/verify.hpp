@@ -1,0 +1,39 @@
+// Functional verification of the reductions.
+//
+// The simulator provides timing; the *values* are computed for real on the
+// host with the result-type semantics of each case (int32 wraparound for
+// C1, int8 -> int64 widening for C2, float32/float64 accumulation for
+// C3/C4). A parallel reduction reassociates the sum — exact for the integer
+// cases, tolerably different for the float cases — and these helpers
+// quantify that, mirroring the paper's "GPU results are verified using the
+// CPU results".
+#pragma once
+
+#include <cstdint>
+
+#include "ghs/workload/host_array.hpp"
+
+namespace ghs::core {
+
+struct VerificationReport {
+  workload::SumValue reference;  // serial left-to-right sum
+  workload::SumValue parallel;   // partial-sum (grid-shaped) reduction
+  bool ok = false;
+  double relative_error = 0.0;
+};
+
+/// Verifies a GPU-shaped reduction: `chunks` partial sums (one per team)
+/// combined in order, against the serial reference.
+VerificationReport verify_gpu_reduction(const workload::HostArray& input,
+                                        std::int64_t chunks, double rel_tol);
+
+/// Verifies co-execution: the host sums [0, split), the device sums
+/// [split, n) in `gpu_chunks` partials, and sum = sumH + sumD.
+VerificationReport verify_coexec(const workload::HostArray& input,
+                                 std::int64_t split, std::int64_t gpu_chunks,
+                                 double rel_tol);
+
+/// Default verification tolerance for a case (0 for the integer cases).
+double default_tolerance(workload::CaseId case_id);
+
+}  // namespace ghs::core

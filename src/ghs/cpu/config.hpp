@@ -1,0 +1,46 @@
+// Grace-class CPU model parameters (72-core Neoverse V2 socket with
+// LPDDR5X). The CPU side of the paper's co-execution is a statically
+// scheduled `omp for simd` loop; its throughput is memory-bound on local
+// LPDDR and link-bound when the pages sit in HBM.
+#pragma once
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::cpu {
+
+struct CpuConfig {
+  int cores = 72;
+  double clock_ghz = 3.3;
+
+  /// Single-core streaming read bandwidth from local LPDDR5X.
+  Bandwidth per_core_stream_bw = Bandwidth::from_gbps(9.0);
+  /// Single-core streaming read bandwidth from HBM over NVLink-C2C; lower
+  /// than local because of the link's load-to-use latency. Chosen so that
+  /// 72 cores still reach the socket remote cap (72 x 5 = 360 > 351).
+  Bandwidth per_core_remote_bw = Bandwidth::from_gbps(5.0);
+  /// Socket-level achievable streaming bandwidth (below the 500 GB/s LPDDR
+  /// capacity resource; STREAM-like efficiency).
+  Bandwidth aggregate_local_bw = Bandwidth::from_gbps(480.0);
+  /// Socket-level streaming rate when reading HBM-resident pages over
+  /// NVLink-C2C; calibrated against the paper's CPU-only A1-vs-A2 ratio of
+  /// 1.367 (480 / 1.367 ≈ 351 GB/s).
+  Bandwidth remote_read_bw = Bandwidth::from_gbps(351.0);
+  /// Mesh/SCF limit on the socket's combined streaming traffic; binds when
+  /// local LPDDR and remote HBM streams run concurrently.
+  Bandwidth socket_stream_bw = Bandwidth::from_gbps(520.0);
+
+  /// Vector datapath width per core for the `for simd` loop (bytes of
+  /// input consumed per cycle); generous because the loop is memory-bound.
+  double simd_bytes_per_cycle = 32.0;
+  /// Elements per cycle per core when the loop is not vectorised (used by
+  /// the no-simd ablation; can bind for 1-byte elements).
+  double scalar_elements_per_cycle = 1.5;
+
+  /// Fork + join overhead of an `omp parallel` region across the socket.
+  SimTime parallel_region_overhead = from_nanoseconds(6000.0);
+  /// Extra per-loop cost of dynamic/guided scheduling (work-queue
+  /// contention across 72 threads); guided pays half.
+  SimTime dynamic_schedule_overhead = from_nanoseconds(4000.0);
+};
+
+}  // namespace ghs::cpu

@@ -1,0 +1,70 @@
+#include "ghs/gpu/coalescing.hpp"
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/math.hpp"
+
+namespace ghs::gpu {
+
+namespace {
+
+void validate(const WarpAccessPattern& pattern) {
+  GHS_REQUIRE(pattern.warp_size > 0, "warp_size=" << pattern.warp_size);
+  GHS_REQUIRE(pattern.element_size > 0,
+              "element_size=" << pattern.element_size);
+  GHS_REQUIRE(pattern.v >= 1, "v=" << pattern.v);
+  GHS_REQUIRE(pattern.sector_bytes > 0,
+              "sector_bytes=" << pattern.sector_bytes);
+}
+
+}  // namespace
+
+Bytes warp_load_span(const WarpAccessPattern& pattern) {
+  validate(pattern);
+  // Lane L accesses element L*v; the span runs from lane 0's first byte to
+  // lane (warp_size-1)'s last byte.
+  const Bytes last_lane_offset =
+      static_cast<Bytes>(pattern.warp_size - 1) * pattern.v *
+      pattern.element_size;
+  return last_lane_offset + pattern.element_size;
+}
+
+std::int64_t sectors_per_load(const WarpAccessPattern& pattern) {
+  validate(pattern);
+  // Lanes are element_size*v apart. When the stride is smaller than a
+  // sector, consecutive lanes share sectors; otherwise each lane touches
+  // its own sector (elements never straddle sectors for the power-of-two
+  // sizes used here).
+  const Bytes stride = pattern.element_size * pattern.v;
+  if (stride >= pattern.sector_bytes) {
+    return pattern.warp_size;
+  }
+  return ceil_div(warp_load_span(pattern), pattern.sector_bytes);
+}
+
+double per_load_sector_efficiency(const WarpAccessPattern& pattern) {
+  const double useful = static_cast<double>(pattern.warp_size) *
+                        static_cast<double>(pattern.element_size);
+  const double moved = static_cast<double>(sectors_per_load(pattern)) *
+                       static_cast<double>(pattern.sector_bytes);
+  return useful / moved;
+}
+
+std::int64_t sectors_per_iteration(const WarpAccessPattern& pattern) {
+  validate(pattern);
+  // The v loads of one iteration tile the contiguous range of
+  // warp_size * v elements.
+  const Bytes range = static_cast<Bytes>(pattern.warp_size) * pattern.v *
+                      pattern.element_size;
+  return ceil_div(range, pattern.sector_bytes);
+}
+
+double iteration_sector_efficiency(const WarpAccessPattern& pattern) {
+  const double useful = static_cast<double>(pattern.warp_size) *
+                        static_cast<double>(pattern.v) *
+                        static_cast<double>(pattern.element_size);
+  const double moved = static_cast<double>(sectors_per_iteration(pattern)) *
+                       static_cast<double>(pattern.sector_bytes);
+  return useful / moved;
+}
+
+}  // namespace ghs::gpu

@@ -1,0 +1,50 @@
+// Sector-level coalescing arithmetic for warp memory accesses.
+//
+// An H100 warp load is serviced in 32-byte sectors. For the reduction's
+// access pattern — lane L of iteration k touching element V*m + k with
+// per-thread base V*m — the lanes of one load are strided V elements
+// apart, so a single load instruction touches a span of 32*V elements but
+// only 32 of them. Across the V loads of one unrolled iteration every
+// sector byte is eventually consumed (the stride pattern tiles the span),
+// which is why the kernel's *bandwidth* efficiency stays high while its
+// *per-load* sector efficiency collapses for large V.
+//
+// These functions quantify both views; the per-load footprint feeds the
+// warp-MLP rate cap (occupancy.cpp) and the tests pin the arithmetic the
+// model's Fig. 1 shapes rest on.
+#pragma once
+
+#include <cstdint>
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::gpu {
+
+struct WarpAccessPattern {
+  int warp_size = 32;
+  Bytes element_size = 4;
+  /// Elements accumulated per loop iteration (lane stride in elements).
+  int v = 1;
+  Bytes sector_bytes = 32;
+};
+
+/// Bytes spanned by one warp load (first lane's byte to last lane's last
+/// byte): warp_size strided accesses of element_size at stride v.
+Bytes warp_load_span(const WarpAccessPattern& pattern);
+
+/// Sectors a single warp load instruction touches.
+std::int64_t sectors_per_load(const WarpAccessPattern& pattern);
+
+/// Useful bytes of one warp load divided by the sector bytes it moves —
+/// 1.0 for unit-stride full-width loads, 1/v-ish for strided ones.
+double per_load_sector_efficiency(const WarpAccessPattern& pattern);
+
+/// Unique sectors the whole unrolled iteration (all v loads) touches.
+/// Because the loads tile the span, this equals the span's sectors: the
+/// iteration-level efficiency is ~1 regardless of v.
+std::int64_t sectors_per_iteration(const WarpAccessPattern& pattern);
+
+/// Useful bytes of the whole iteration over the sector bytes it moves.
+double iteration_sector_efficiency(const WarpAccessPattern& pattern);
+
+}  // namespace ghs::gpu

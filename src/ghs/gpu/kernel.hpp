@@ -1,0 +1,86 @@
+// Kernel descriptor for the reduction-style kernels this repository
+// studies: a grid of identical CTAs, each streaming a contiguous chunk of
+// one input array and combining one partial result at the end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ghs/gpu/config.hpp"
+#include "ghs/um/manager.hpp"
+#include "ghs/util/units.hpp"
+
+namespace ghs::gpu {
+
+/// How per-thread partials leave the CTA — the "reduction abstraction"
+/// dimension the paper's related work (§V) discusses and its conclusion
+/// defers to future study.
+enum class CombineStrategy {
+  /// Shared-memory tree per CTA, then one serialized combine per CTA to
+  /// the reduction variable (what the vendor runtime emits; the default).
+  kAtomicPerCta,
+  /// No shared-memory tree: every warp combines directly after a shuffle
+  /// reduction — cheaper intra-CTA, warps-per-CTA times more combines.
+  kAtomicPerWarp,
+  /// CTAs write partials to a scratch buffer; a second, tiny kernel
+  /// reduces the partials — no serialized combines at all, one extra
+  /// launch.
+  kTwoKernel,
+};
+
+const char* combine_strategy_name(CombineStrategy strategy);
+
+/// Where a kernel's input bytes live.
+enum class InputLocation {
+  /// Explicitly mapped device buffer (non-UM mode): full-speed HBM.
+  kDeviceBuffer,
+  /// Managed allocation (UM mode): residency is per-page, asked of the
+  /// UmManager at every pass.
+  kManaged,
+};
+
+struct KernelDesc {
+  std::string label;
+
+  /// Grid geometry.
+  std::int64_t grid = 0;              // number of CTAs
+  int threads_per_cta = 128;
+
+  /// Loop shape: total elements, bytes per element, and elements summed per
+  /// loop iteration (the paper's V).
+  std::int64_t elements = 0;
+  Bytes element_size = 4;
+  int v = 1;
+  /// Input arrays streamed per element (1 for the sum reduction; 2 for
+  /// dot-product-style derived primitives).
+  int input_streams = 1;
+
+  /// How per-thread partials fold into the reduction variable.
+  CombineClass combine = CombineClass::kNativeInt;
+  CombineStrategy strategy = CombineStrategy::kAtomicPerCta;
+
+  InputLocation input = InputLocation::kDeviceBuffer;
+  /// For kManaged: the allocation and byte range the kernel streams.
+  um::AllocId managed_alloc = 0;
+  Bytes range_offset = 0;
+
+  Bytes total_bytes() const {
+    return elements * element_size * input_streams;
+  }
+  int warps_per_cta() const { return threads_per_cta / 32; }
+};
+
+/// Outcome of one simulated kernel execution.
+struct KernelResult {
+  SimTime start = 0;
+  SimTime end = 0;
+  Bytes bytes = 0;
+  /// Bytes served from CPU-resident managed pages (UM mode).
+  Bytes remote_bytes = 0;
+
+  SimTime duration() const { return end - start; }
+  Bandwidth bandwidth() const { return achieved_bandwidth(bytes, duration()); }
+};
+
+}  // namespace ghs::gpu

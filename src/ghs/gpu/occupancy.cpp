@@ -1,0 +1,40 @@
+#include "ghs/gpu/occupancy.hpp"
+
+#include <algorithm>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::gpu {
+
+int ctas_per_sm(const GpuConfig& config, int threads_per_cta) {
+  GHS_REQUIRE(threads_per_cta > 0 &&
+                  threads_per_cta % config.warp_size == 0 &&
+                  threads_per_cta <= config.max_threads_per_sm,
+              "threads_per_cta=" << threads_per_cta);
+  return std::min(config.max_ctas_per_sm,
+                  config.max_threads_per_sm / threads_per_cta);
+}
+
+std::int64_t resident_ctas(const GpuConfig& config, int threads_per_cta) {
+  return static_cast<std::int64_t>(config.num_sms) *
+         ctas_per_sm(config, threads_per_cta);
+}
+
+double cta_rate_cap(const GpuConfig& config, int threads_per_cta, int v,
+                    Bytes element_size) {
+  GHS_REQUIRE(v >= 1, "v=" << v);
+  GHS_REQUIRE(element_size >= 1, "element_size=" << element_size);
+  const int warps = threads_per_cta / config.warp_size;
+  const long long loads_in_flight =
+      std::min<long long>(config.max_outstanding_loads_per_warp,
+                          static_cast<long long>(v) * config.iteration_ilp);
+  const double inflight_bytes =
+      static_cast<double>(loads_in_flight) *
+      static_cast<double>(config.warp_size) *
+      static_cast<double>(element_size);
+  const double latency_s = to_seconds(config.mem_latency);
+  GHS_CHECK(latency_s > 0.0, "mem latency must be positive");
+  return static_cast<double>(warps) * inflight_bytes / latency_s;
+}
+
+}  // namespace ghs::gpu

@@ -1,0 +1,26 @@
+// Occupancy arithmetic: how many CTAs of a given shape are simultaneously
+// resident on the whole GPU. The reduction kernels use no shared memory to
+// speak of and few registers, so threads-per-SM and the CTA-slot limit are
+// the binding constraints.
+#pragma once
+
+#include <cstdint>
+
+#include "ghs/gpu/config.hpp"
+
+namespace ghs::gpu {
+
+/// CTAs of `threads_per_cta` threads resident per SM.
+int ctas_per_sm(const GpuConfig& config, int threads_per_cta);
+
+/// CTAs resident across the whole device.
+std::int64_t resident_ctas(const GpuConfig& config, int threads_per_cta);
+
+/// Per-CTA streaming rate cap in bytes/s from the warp-level-parallelism
+/// model: each warp keeps min(max_outstanding, v * iteration_ilp) loads in
+/// flight, each load covering warp_size * element_size bytes, against the
+/// loaded memory latency.
+double cta_rate_cap(const GpuConfig& config, int threads_per_cta, int v,
+                    Bytes element_size);
+
+}  // namespace ghs::gpu

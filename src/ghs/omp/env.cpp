@@ -1,0 +1,70 @@
+#include "ghs/omp/env.hpp"
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/strings.hpp"
+
+namespace ghs::omp {
+
+namespace {
+
+std::int64_t parse_positive(const std::string& name,
+                            const std::string& value) {
+  std::size_t pos = 0;
+  std::int64_t parsed = 0;
+  bool ok = true;
+  try {
+    parsed = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  GHS_REQUIRE(ok && pos == value.size() && parsed > 0,
+              name << "='" << value << "' is not a positive integer");
+  return parsed;
+}
+
+}  // namespace
+
+Environment Environment::parse(
+    const std::vector<std::pair<std::string, std::string>>& vars) {
+  Environment env;
+  for (const auto& [name, value] : vars) {
+    if (name == "OMP_NUM_TEAMS") {
+      env.num_teams = parse_positive(name, value);
+    } else if (name == "OMP_TEAMS_THREAD_LIMIT" ||
+               name == "OMP_THREAD_LIMIT") {
+      env.teams_thread_limit = static_cast<int>(parse_positive(name, value));
+    } else if (name == "OMP_NUM_THREADS") {
+      env.num_threads = static_cast<int>(parse_positive(name, value));
+    } else if (name == "OMP_DEFAULT_DEVICE") {
+      // Device ids start at 0, so allow 0 here.
+      std::size_t pos = 0;
+      std::int64_t parsed = -1;
+      try {
+        parsed = std::stoll(value, &pos);
+      } catch (const std::exception&) {
+      }
+      GHS_REQUIRE(pos == value.size() && parsed >= 0,
+                  name << "='" << value << "' is not a device id");
+      env.default_device = static_cast<int>(parsed);
+    } else {
+      // Unknown OMP_* (or unrelated) variables are silently ignored, as a
+      // conforming runtime would.
+      GHS_REQUIRE(!name.empty(), "empty environment variable name");
+    }
+  }
+  return env;
+}
+
+Environment Environment::parse_list(const std::string& comma_separated) {
+  std::vector<std::pair<std::string, std::string>> vars;
+  if (comma_separated.empty()) return Environment{};
+  for (const auto& entry : split(comma_separated, ',')) {
+    const auto eq = entry.find('=');
+    GHS_REQUIRE(eq != std::string::npos && eq > 0,
+                "environment entry '" << entry << "' is not NAME=VALUE");
+    vars.emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+  return parse(vars);
+}
+
+}  // namespace ghs::omp

@@ -1,0 +1,37 @@
+// OpenMP environment model: the internal control variables (ICVs) a user
+// sets through OMP_* environment variables. The runtime resolves grid
+// geometry with the spec's precedence — clause > environment > the
+// implementation heuristic. Parsed from an explicit key-value list rather
+// than the process environment, so simulations stay deterministic and
+// testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ghs::omp {
+
+struct Environment {
+  /// OMP_NUM_TEAMS: teams created by a teams construct without num_teams.
+  std::optional<std::int64_t> num_teams;
+  /// OMP_TEAMS_THREAD_LIMIT: threads per team without thread_limit.
+  std::optional<int> teams_thread_limit;
+  /// OMP_NUM_THREADS: host parallel-region width.
+  std::optional<int> num_threads;
+  /// OMP_DEFAULT_DEVICE: target device when no device clause is given
+  /// (the simulated system has one GPU: device 0).
+  std::optional<int> default_device;
+
+  /// Parses "OMP_NUM_TEAMS=4096"-style entries; unknown OMP_* variables
+  /// are ignored (as a real runtime would), malformed values throw.
+  static Environment parse(
+      const std::vector<std::pair<std::string, std::string>>& vars);
+
+  /// Convenience: parses "A=1,B=2" lists (the --omp-env CLI format).
+  static Environment parse_list(const std::string& comma_separated);
+};
+
+}  // namespace ghs::omp

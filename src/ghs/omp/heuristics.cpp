@@ -1,0 +1,25 @@
+#include "ghs/omp/heuristics.hpp"
+
+#include <algorithm>
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/math.hpp"
+
+namespace ghs::omp {
+
+std::int64_t heuristic_grid(const GridHeuristic& h, std::int64_t iterations) {
+  GHS_REQUIRE(iterations > 0, "iterations=" << iterations);
+  GHS_REQUIRE(h.default_threads > 0, "default_threads");
+  const std::int64_t grid =
+      ceil_div(iterations, static_cast<std::int64_t>(h.default_threads));
+  return std::min(grid, h.grid_clamp);
+}
+
+std::int64_t occupancy_grid(int num_sms, int ctas_per_sm, int waves_per_sm) {
+  GHS_REQUIRE(num_sms > 0 && ctas_per_sm > 0 && waves_per_sm > 0,
+              "num_sms=" << num_sms << " ctas_per_sm=" << ctas_per_sm
+                         << " waves_per_sm=" << waves_per_sm);
+  return static_cast<std::int64_t>(num_sms) * ctas_per_sm * waves_per_sm;
+}
+
+}  // namespace ghs::omp

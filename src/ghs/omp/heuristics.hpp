@@ -1,0 +1,30 @@
+// NVHPC-style grid-geometry heuristics for target regions.
+//
+// The paper profiles the vendor runtime's choices for the baseline (no
+// num_teams/thread_limit clauses): the grid size equals the loop trip count
+// divided by the default team size of 128 threads, clamped to 0xFFFFFF —
+// the clamp is what the C2 case (4.19 G iterations) hits. Reproducing the
+// heuristic, rather than the measured numbers, is what keeps the baseline
+// comparison honest; the ablation bench swaps in alternative heuristics.
+#pragma once
+
+#include <cstdint>
+
+namespace ghs::omp {
+
+struct GridHeuristic {
+  /// Default threads per team when thread_limit is absent.
+  int default_threads = 128;
+  /// Upper clamp the runtime applies to its computed grid size.
+  std::int64_t grid_clamp = 0xFFFFFF;
+};
+
+/// Grid size the runtime picks for an unclaused target loop of
+/// `iterations` iterations.
+std::int64_t heuristic_grid(const GridHeuristic& h, std::int64_t iterations);
+
+/// An occupancy-style alternative used by the ablation bench: enough CTAs
+/// to fill every SM `waves_per_sm` times, independent of trip count.
+std::int64_t occupancy_grid(int num_sms, int ctas_per_sm, int waves_per_sm);
+
+}  // namespace ghs::omp

@@ -1,0 +1,27 @@
+#include "ghs/sim/event_queue.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::sim {
+
+void EventQueue::push(SimTime time, EventFn fn) {
+  GHS_REQUIRE(time >= 0, "event time " << time);
+  heap_.push(Entry{time, next_seq_++, std::make_shared<EventFn>(std::move(fn))});
+}
+
+SimTime EventQueue::next_time() const {
+  GHS_REQUIRE(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventFn EventQueue::pop() {
+  GHS_REQUIRE(!heap_.empty(), "pop on empty queue");
+  Entry top = heap_.top();
+  heap_.pop();
+  return std::move(*top.fn);
+}
+
+}  // namespace ghs::sim

@@ -1,0 +1,50 @@
+// Time-ordered event queue for the discrete-event simulator. Ties are
+// broken by insertion sequence number so execution order is deterministic
+// and FIFO among same-time events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(SimTime time, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event's callback.
+  EventFn pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    // Shared_ptr keeps Entry copyable for priority_queue while the
+    // callback itself is move-only in practice.
+    std::shared_ptr<EventFn> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ghs::sim

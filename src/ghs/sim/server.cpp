@@ -1,0 +1,32 @@
+#include "ghs/sim/server.hpp"
+
+#include <algorithm>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::sim {
+
+SimTime SerialServer::submit(SimTime now, SimTime service) {
+  return submit_batch(now, service, 1);
+}
+
+SimTime SerialServer::submit_batch(SimTime now, SimTime service,
+                                   std::int64_t count) {
+  GHS_REQUIRE(now >= 0 && service >= 0 && count >= 0,
+              "now=" << now << " service=" << service << " count=" << count);
+  if (count == 0) return std::max(now, available_at_);
+  const SimTime start = std::max(now, available_at_);
+  const SimTime total = service * count;
+  available_at_ = start + total;
+  busy_time_ += total;
+  completed_ += count;
+  return available_at_;
+}
+
+void SerialServer::reset() {
+  available_at_ = 0;
+  busy_time_ = 0;
+  completed_ = 0;
+}
+
+}  // namespace ghs::sim

@@ -1,0 +1,41 @@
+// Serial FIFO server: models strictly serializing hardware units — the
+// GPU's atomic/reduction combine path to a single address and the kernel
+// launch queue. Submissions are served one at a time in arrival order;
+// submit() is purely arithmetic (no event needed) and returns the
+// completion time, which callers fold into their own event scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::sim {
+
+class SerialServer {
+ public:
+  /// Enqueues one unit of work arriving at `now` that needs `service` time.
+  /// Returns the absolute time the work completes.
+  SimTime submit(SimTime now, SimTime service);
+
+  /// Enqueues `count` back-to-back units of `service` each (used when a
+  /// whole wave of CTAs issues its combine atomics together).
+  SimTime submit_batch(SimTime now, SimTime service, std::int64_t count);
+
+  /// Earliest time a new arrival would start service.
+  SimTime available_at() const { return available_at_; }
+
+  /// Total busy time accumulated.
+  SimTime busy_time() const { return busy_time_; }
+
+  std::int64_t completed() const { return completed_; }
+
+  /// Forgets all history (used between benchmark repetitions).
+  void reset();
+
+ private:
+  SimTime available_at_ = 0;
+  SimTime busy_time_ = 0;
+  std::int64_t completed_ = 0;
+};
+
+}  // namespace ghs::sim

@@ -1,0 +1,45 @@
+#include "ghs/sim/simulator.hpp"
+
+#include <utility>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::sim {
+
+void Simulator::schedule_at(SimTime t, EventFn fn) {
+  GHS_REQUIRE(t >= now_, "cannot schedule into the past: t=" << t
+                                                             << " now=" << now_);
+  queue_.push(t, std::move(fn));
+}
+
+void Simulator::schedule_after(SimTime dt, EventFn fn) {
+  GHS_REQUIRE(dt >= 0, "negative delay " << dt);
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  const SimTime t = queue_.next_time();
+  EventFn fn = queue_.pop();
+  GHS_CHECK(t >= now_, "clock would move backwards");
+  now_ = t;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+bool Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (queue_.empty()) return true;
+  now_ = deadline;
+  return false;
+}
+
+}  // namespace ghs::sim

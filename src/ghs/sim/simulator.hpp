@@ -1,0 +1,42 @@
+// Discrete-event simulator: a monotone clock plus an event queue. All
+// substrate models (memory system, GPU, CPU, UM migration engine) schedule
+// work here; nothing in the repository reads wall-clock time.
+#pragma once
+
+#include <cstddef>
+
+#include "ghs/sim/event_queue.hpp"
+#include "ghs/util/units.hpp"
+
+namespace ghs::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now()).
+  void schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after a delay of `dt` picoseconds.
+  void schedule_after(SimTime dt, EventFn fn);
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs until the queue drains or the clock would pass `deadline`;
+  /// returns true if the queue drained.
+  bool run_until(SimTime deadline);
+
+  /// Executes a single event; returns false when the queue is empty.
+  bool step();
+
+  std::size_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  std::size_t events_processed_ = 0;
+};
+
+}  // namespace ghs::sim

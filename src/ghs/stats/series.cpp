@@ -1,0 +1,90 @@
+#include "ghs/stats/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ghs/stats/table.hpp"
+#include "ghs/util/error.hpp"
+#include "ghs/util/strings.hpp"
+
+namespace ghs::stats {
+
+std::optional<double> Series::at(double x) const {
+  for (const auto& p : points_) {
+    if (p.x == x) return p.y;
+  }
+  return std::nullopt;
+}
+
+double Series::max_y() const {
+  GHS_REQUIRE(!points_.empty(), "max_y of empty series '" << name_ << "'");
+  double best = points_.front().y;
+  for (const auto& p : points_) best = std::max(best, p.y);
+  return best;
+}
+
+Figure::Figure(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+Series& Figure::add_series(const std::string& name) {
+  GHS_REQUIRE(find_series(name) == nullptr, "duplicate series '" << name
+                                                                 << "'");
+  series_.emplace_back(name);
+  return series_.back();
+}
+
+const Series* Figure::find_series(const std::string& name) const {
+  for (const auto& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Renders an x value compactly: integers without decimals, otherwise 3 dp.
+std::string format_x(double x) {
+  if (x == std::floor(x) && std::fabs(x) < 1e15) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  return format_fixed(x, 3);
+}
+
+Table build_table(const std::string& x_label,
+                  const std::deque<Series>& series) {
+  std::set<double> xs;
+  for (const auto& s : series) {
+    for (const auto& p : s.points()) xs.insert(p.x);
+  }
+  std::vector<std::string> headers;
+  headers.push_back(x_label);
+  for (const auto& s : series) headers.push_back(s.name());
+  Table table(std::move(headers));
+  for (double x : xs) {
+    std::vector<std::string> row;
+    row.push_back(format_x(x));
+    for (const auto& s : series) {
+      const auto y = s.at(x);
+      row.push_back(y ? format_fixed(*y, 3) : std::string("-"));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+void Figure::render(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  os << "(y: " << y_label_ << ")\n";
+  build_table(x_label_, series_).render(os);
+}
+
+void Figure::render_csv(std::ostream& os) const {
+  build_table(x_label_, series_).render_csv(os);
+}
+
+}  // namespace ghs::stats

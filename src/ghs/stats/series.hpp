@@ -1,0 +1,64 @@
+// Figure-style data series: a Figure holds one or more named series over a
+// shared x axis (e.g. bandwidth vs number-of-teams, one series per V).
+// Benches build these and render them the way the paper's figures read.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ghs::stats {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { points_.push_back({x, y}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// y value at exactly x, if present.
+  std::optional<double> at(double x) const;
+
+  /// Largest y across the series; requires non-empty.
+  double max_y() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+class Figure {
+ public:
+  Figure(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a series and returns a reference that stays valid for the
+  /// figure's lifetime (series storage is reference-stable).
+  Series& add_series(const std::string& name);
+  const Series* find_series(const std::string& name) const;
+  const std::deque<Series>& series() const { return series_; }
+  const std::string& title() const { return title_; }
+
+  /// Renders as an aligned table: one row per x value, one column per
+  /// series, matching how the paper's figure data reads.
+  void render(std::ostream& os) const;
+
+  /// CSV with the same layout.
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::deque<Series> series_;
+};
+
+}  // namespace ghs::stats

@@ -1,0 +1,69 @@
+#include "ghs/stats/table.hpp"
+
+#include <algorithm>
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/strings.hpp"
+
+namespace ghs::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GHS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GHS_REQUIRE(cells.size() == headers_.size(),
+              "row has " << cells.size() << " cells, table has "
+                         << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << pad_left(cells[c], widths[c]);
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::render_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace ghs::stats

@@ -1,0 +1,31 @@
+// Console table and CSV rendering used by the bench harnesses to print the
+// paper's tables and figure series in a stable, diff-able format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ghs::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders an aligned ASCII table with a header separator.
+  void render(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote get quoted).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ghs::stats

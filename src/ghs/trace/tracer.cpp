@@ -1,0 +1,108 @@
+#include "ghs/trace/tracer.hpp"
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::trace {
+
+const char* track_name(Track track) {
+  switch (track) {
+    case Track::kGpu:
+      return "GPU kernels";
+    case Track::kGpuWaves:
+      return "GPU waves";
+    case Track::kCpu:
+      return "CPU reduction";
+    case Track::kUmMigration:
+      return "UM migration";
+    case Track::kRuntime:
+      return "OpenMP runtime";
+  }
+  return "?";
+}
+
+void Tracer::record(Track track, std::string name, SimTime begin, SimTime end,
+                    std::string detail) {
+  GHS_REQUIRE(begin >= 0 && end >= begin,
+              "span '" << name << "' has begin=" << begin << " end=" << end);
+  spans_.push_back(Span{track, std::move(name), begin, end,
+                        std::move(detail)});
+}
+
+void Tracer::mark(Track track, std::string name, SimTime at) {
+  GHS_REQUIRE(at >= 0, "instant '" << name << "' at " << at);
+  instants_.push_back(Instant{track, std::move(name), at});
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  instants_.clear();
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Chrome trace timestamps are microseconds; export simulated picoseconds
+// as fractional microseconds (1 ps = 1e-6 us) to keep full resolution.
+double to_trace_us(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_common = [&](Track track, const std::string& name,
+                               const char* phase, double ts) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"pid\":1,\"tid\":" << static_cast<int>(track) << ",\"ph\":\""
+       << phase << "\",\"ts\":" << ts << ",\"name\":\"";
+    write_escaped(os, name);
+    os << "\"";
+  };
+  // Thread-name metadata so the viewer labels the tracks.
+  for (int t = 0; t <= static_cast<int>(Track::kRuntime); ++t) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"pid\":1,\"tid\":" << t
+       << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << track_name(static_cast<Track>(t)) << "\"}}";
+  }
+  for (const auto& span : spans_) {
+    emit_common(span.track, span.name, "X", to_trace_us(span.begin));
+    os << ",\"dur\":" << to_trace_us(span.end - span.begin);
+    if (!span.detail.empty()) {
+      os << ",\"args\":{\"detail\":\"";
+      write_escaped(os, span.detail);
+      os << "\"}";
+    }
+    os << "}";
+  }
+  for (const auto& instant : instants_) {
+    emit_common(instant.track, instant.name, "i", to_trace_us(instant.at));
+    os << ",\"s\":\"t\"}";
+  }
+  os << "]}";
+}
+
+}  // namespace ghs::trace

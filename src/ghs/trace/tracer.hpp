@@ -1,0 +1,80 @@
+// Execution tracing: devices and the UM driver record spans (kernels,
+// waves, CPU reductions, migrations, co-execution regions) against
+// simulated time; the recorder exports Chrome trace-event JSON
+// (chrome://tracing / Perfetto) so a run's timeline can be inspected
+// visually — the closest simulator analogue of an Nsight Systems capture.
+//
+// Tracing is opt-in: devices hold a Tracer pointer that is null by default,
+// and every record call no-ops when disabled, so the hot simulation paths
+// pay one branch.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::trace {
+
+/// Track (Chrome "thread") a span is drawn on.
+enum class Track : std::uint8_t {
+  kGpu = 0,
+  kGpuWaves = 1,
+  kCpu = 2,
+  kUmMigration = 3,
+  kRuntime = 4,
+};
+
+const char* track_name(Track track);
+
+struct Span {
+  Track track;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// Optional free-form detail rendered into the event's args.
+  std::string detail;
+};
+
+struct Instant {
+  Track track;
+  std::string name;
+  SimTime at = 0;
+};
+
+class Tracer {
+ public:
+  /// Records a completed span; begin <= end required.
+  void record(Track track, std::string name, SimTime begin, SimTime end,
+              std::string detail = {});
+
+  /// Records a zero-duration marker.
+  void mark(Track track, std::string name, SimTime at);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Instant>& instants() const { return instants_; }
+  std::size_t size() const { return spans_.size() + instants_.size(); }
+  void clear();
+
+  /// Writes Chrome trace-event JSON (the "traceEvents" array format).
+  /// Simulated picoseconds are exported as microseconds scaled by 1e-6 so
+  /// nanosecond-scale events stay visible in the viewer.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+};
+
+/// Helper for the devices: records only when the tracer is non-null.
+inline void record_span(Tracer* tracer, Track track, const std::string& name,
+                        SimTime begin, SimTime end,
+                        const std::string& detail = {}) {
+  if (tracer != nullptr) {
+    tracer->record(track, name, begin, end, detail);
+  }
+}
+
+}  // namespace ghs::trace

@@ -1,0 +1,61 @@
+// Unified-memory driver policy knobs.
+//
+// In UM mode (`-gpu=mem:unified` on the paper's toolchain) heap allocations
+// behave like CUDA managed memory: pages first-touch in the memory of the
+// initialising processor and move under a driver policy when the other
+// processor accesses them. Two policies are modelled:
+//
+//  * kFaultEager   — the default, matching managed-memory semantics the
+//    paper describes for the Grace-Hopper testbed: the first GPU touch of a
+//    CPU-resident page fault-migrates it to HBM at the (slow) fault-handling
+//    rate, after which it stays in HBM. This is what makes allocation site
+//    A1 warm across the paper's p-sweep while A2 pays the cold migration in
+//    every p-experiment.
+//  * kAccessCounter — Hopper's access-counter-based delayed migration: a
+//    page is served remotely over NVLink-C2C until it has been touched in
+//    `gpu_access_threshold` passes, then migrates in the background. Kept
+//    for the UM-policy ablation bench.
+//  * kNone          — pages never move; remote accesses stay remote.
+//
+// CPU-side migrate-back is off by default (cpu_access_threshold == 0):
+// on the testbed, CPU accesses to HBM-resident managed pages do not pull
+// them back, which is exactly why the paper's CPU-only run with A1 is
+// 1.367x slower than with A2.
+#pragma once
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::um {
+
+enum class MigrationMode { kNone, kFaultEager, kAccessCounter };
+
+const char* migration_mode_name(MigrationMode mode);
+
+struct UmPolicy {
+  /// Migration granularity. GH UM moves data in large chunks; 2 MiB is the
+  /// effective unit for heap-sized streaming allocations.
+  Bytes page_size = 2 * kMiB;
+
+  MigrationMode mode = MigrationMode::kFaultEager;
+
+  /// Effective throughput of fault-driven first-touch migration (page fault
+  /// handling + unmap/remap + copy). Far below link speed; measured
+  /// first-touch streams on GH-class systems land in the 10–30 GB/s range.
+  /// Calibrated against the paper's GPU-only-in-UM reference level.
+  Bandwidth fault_migration_bw = Bandwidth::from_gbps(11.0);
+
+  /// kAccessCounter only: full passes over a page by the GPU before the
+  /// driver migrates it to HBM.
+  int gpu_access_threshold = 16;
+
+  /// Passes over a page by the CPU before migrating it back to LPDDR;
+  /// 0 disables migrate-back (the testbed default).
+  int cpu_access_threshold = 0;
+
+  /// Rate at which read-duplicated copies are established on first access
+  /// (read-mostly advice); faster than fault migration because no unmap is
+  /// needed, still driver-managed.
+  Bandwidth duplication_bw = Bandwidth::from_gbps(40.0);
+};
+
+}  // namespace ghs::um

@@ -1,0 +1,160 @@
+#include "ghs/util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <variant>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs {
+
+namespace {
+
+struct Option {
+  std::string name;
+  std::string help;
+  std::string default_text;
+  bool is_flag = false;
+  // Storage for the parsed value; exactly one member is engaged.
+  std::unique_ptr<std::string> str;
+  std::unique_ptr<long long> num;
+  std::unique_ptr<double> real;
+  std::unique_ptr<bool> flag;
+
+  void assign(const std::string& text) {
+    if (str) {
+      *str = text;
+      return;
+    }
+    GHS_CHECK(num || real, "flag option assigned a value");
+    bool parsed = false;
+    try {
+      std::size_t pos = 0;
+      if (num) {
+        *num = std::stoll(text, &pos);
+      } else {
+        *real = std::stod(text, &pos);
+      }
+      parsed = pos == text.size();
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    GHS_REQUIRE(parsed, "option --" << name << ": '" << text
+                                    << "' is not a valid "
+                                    << (num ? "integer" : "number"));
+  }
+};
+
+}  // namespace
+
+struct Cli::Impl {
+  std::string program;
+  std::string description;
+  std::vector<Option> options;
+
+  Option* find(const std::string& name) {
+    for (auto& opt : options) {
+      if (opt.name == name) return &opt;
+    }
+    return nullptr;
+  }
+
+  Option& add(const std::string& name, const std::string& help) {
+    GHS_REQUIRE(find(name) == nullptr, "duplicate option --" << name);
+    options.push_back(Option{});
+    Option& opt = options.back();
+    opt.name = name;
+    opt.help = help;
+    return opt;
+  }
+};
+
+Cli::Cli(std::string program, std::string description)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->program = std::move(program);
+  impl_->description = std::move(description);
+}
+
+Cli::~Cli() = default;
+
+const std::string* Cli::add_string(const std::string& name,
+                                   std::string default_value,
+                                   const std::string& help) {
+  Option& opt = impl_->add(name, help);
+  opt.default_text = default_value;
+  opt.str = std::make_unique<std::string>(std::move(default_value));
+  return opt.str.get();
+}
+
+const long long* Cli::add_int(const std::string& name, long long default_value,
+                              const std::string& help) {
+  Option& opt = impl_->add(name, help);
+  opt.default_text = std::to_string(default_value);
+  opt.num = std::make_unique<long long>(default_value);
+  return opt.num.get();
+}
+
+const double* Cli::add_double(const std::string& name, double default_value,
+                              const std::string& help) {
+  Option& opt = impl_->add(name, help);
+  opt.default_text = std::to_string(default_value);
+  opt.real = std::make_unique<double>(default_value);
+  return opt.real.get();
+}
+
+const bool* Cli::add_flag(const std::string& name, const std::string& help) {
+  Option& opt = impl_->add(name, help);
+  opt.default_text = "false";
+  opt.is_flag = true;
+  opt.flag = std::make_unique<bool>(false);
+  return opt.flag.get();
+}
+
+std::string Cli::usage() const {
+  std::ostringstream oss;
+  oss << impl_->program << " — " << impl_->description << "\n\nOptions:\n";
+  for (const auto& opt : impl_->options) {
+    oss << "  --" << opt.name;
+    if (!opt.is_flag) oss << "=<value>";
+    oss << "\n      " << opt.help << " (default: " << opt.default_text
+        << ")\n";
+  }
+  oss << "  --help\n      Print this message and exit.\n";
+  return oss.str();
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    GHS_REQUIRE(arg.rfind("--", 0) == 0,
+                "unexpected positional argument '" << arg << "'");
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Option* opt = impl_->find(name);
+    GHS_REQUIRE(opt != nullptr, "unknown option --" << name);
+    if (opt->is_flag) {
+      GHS_REQUIRE(!has_value, "flag --" << name << " does not take a value");
+      *opt->flag = true;
+      continue;
+    }
+    if (!has_value) {
+      GHS_REQUIRE(i + 1 < argc, "option --" << name << " needs a value");
+      value = argv[++i];
+    }
+    opt->assign(value);
+  }
+}
+
+}  // namespace ghs

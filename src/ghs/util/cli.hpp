@@ -1,0 +1,50 @@
+// Tiny declarative command-line parser used by benches and examples.
+//
+//   ghs::Cli cli("fig1_gpu_sweep", "Reproduces Fig. 1 of the paper");
+//   auto case_name = cli.add_string("case", "all", "C1|C2|C3|C4|all");
+//   auto n_iters   = cli.add_int("iters", 200, "timing repetitions");
+//   cli.parse(argc, argv);            // throws ghs::Error on bad input
+//   use(*case_name, *n_iters);
+//
+// Options are spelled --name=value or --name value; --help prints usage and
+// exits. Unknown options are an error so typos do not silently fall back to
+// defaults.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ghs {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+  ~Cli();
+
+  Cli(const Cli&) = delete;
+  Cli& operator=(const Cli&) = delete;
+
+  /// Registers options. The returned pointer stays owned by the Cli and is
+  /// filled in by parse(); it is valid for the Cli's lifetime.
+  const std::string* add_string(const std::string& name,
+                                std::string default_value,
+                                const std::string& help);
+  const long long* add_int(const std::string& name, long long default_value,
+                           const std::string& help);
+  const double* add_double(const std::string& name, double default_value,
+                           const std::string& help);
+  const bool* add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. On --help, prints usage to stdout and std::exit(0)s.
+  void parse(int argc, const char* const* argv);
+
+  /// Renders the usage text (also used by --help).
+  std::string usage() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ghs

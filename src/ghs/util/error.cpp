@@ -1,0 +1,16 @@
+#include "ghs/util/error.hpp"
+
+namespace ghs::detail {
+
+void throw_error(const char* kind, const char* cond, const char* file,
+                 int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "ghs " << kind << " failed: (" << cond << ") at " << file << ":"
+      << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace ghs::detail

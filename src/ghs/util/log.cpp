@@ -1,0 +1,55 @@
+#include "ghs/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  GHS_REQUIRE(false, "unknown log level '" << name << "'");
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[ghs %-5s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace ghs

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Benches and examples set the level from the CLI;
+// the simulator logs structural events at Debug and calibration-relevant
+// summaries at Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ghs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log level; defaults to kWarn so tests and benches stay quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ghs
+
+#define GHS_LOG(level, ...)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::ghs::log_level())) {                      \
+      ::std::ostringstream ghs_log_oss_;                             \
+      ghs_log_oss_ << __VA_ARGS__;                                   \
+      ::ghs::detail::log_line(level, ghs_log_oss_.str());            \
+    }                                                                \
+  } while (false)
+
+#define GHS_DEBUG(...) GHS_LOG(::ghs::LogLevel::kDebug, __VA_ARGS__)
+#define GHS_INFO(...) GHS_LOG(::ghs::LogLevel::kInfo, __VA_ARGS__)
+#define GHS_WARN(...) GHS_LOG(::ghs::LogLevel::kWarn, __VA_ARGS__)
+#define GHS_ERROR(...) GHS_LOG(::ghs::LogLevel::kError, __VA_ARGS__)

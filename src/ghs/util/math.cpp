@@ -1,0 +1,13 @@
+#include "ghs/util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ghs {
+
+double relative_difference(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace ghs

@@ -1,0 +1,50 @@
+// Small integer-math helpers shared by the simulator and the runtime model.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs {
+
+/// ceil(a / b) for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+/// True iff x is a power of two (zero is not).
+template <typename T>
+constexpr bool is_pow2(T x) {
+  static_assert(std::is_integral_v<T>);
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// Rounds x up to the next multiple of m (m > 0).
+template <typename T>
+constexpr T round_up(T x, T m) {
+  return ceil_div(x, m) * m;
+}
+
+/// Integer log2 of a power of two.
+template <typename T>
+constexpr int log2_pow2(T x) {
+  int n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Linear interpolation.
+constexpr double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); used by float verification.
+double relative_difference(double a, double b);
+
+}  // namespace ghs

@@ -1,0 +1,25 @@
+// String helpers shared by table rendering and CLI handling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ghs {
+
+/// Splits on a delimiter; empty tokens are preserved.
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Joins tokens with a delimiter.
+std::string join(const std::vector<std::string>& tokens,
+                 const std::string& delim);
+
+/// Fixed-precision decimal rendering, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Pads with spaces on the left (right-aligns) to at least `width`.
+std::string pad_left(const std::string& text, std::size_t width);
+
+/// Pads with spaces on the right (left-aligns) to at least `width`.
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace ghs

@@ -1,0 +1,49 @@
+#include "ghs/workload/cases.hpp"
+
+#include <array>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::workload {
+
+namespace {
+
+constexpr std::int64_t kM32 = 1'048'576'000;  // 1000 * 2^20
+constexpr std::int64_t kM8 = 4 * kM32;
+
+constexpr std::array<CaseSpec, 4> kSpecs = {{
+    {CaseId::kC1, "C1", "int32", "int32", 4, kM32,
+     gpu::CombineClass::kNativeInt, false},
+    {CaseId::kC2, "C2", "int8", "int64", 1, kM8,
+     gpu::CombineClass::kWideningInt, false},
+    {CaseId::kC3, "C3", "float32", "float32", 4, kM32,
+     gpu::CombineClass::kFloatCas, true},
+    {CaseId::kC4, "C4", "float64", "float64", 8, kM32,
+     gpu::CombineClass::kFloatCas, true},
+}};
+
+}  // namespace
+
+const CaseSpec& case_spec(CaseId id) {
+  return kSpecs[static_cast<std::size_t>(id)];
+}
+
+const std::vector<CaseId>& all_cases() {
+  static const std::vector<CaseId> cases = {CaseId::kC1, CaseId::kC2,
+                                            CaseId::kC3, CaseId::kC4};
+  return cases;
+}
+
+CaseId parse_case(const std::string& name) {
+  for (const auto& spec : kSpecs) {
+    std::string lower;
+    for (char c : std::string(spec.name)) {
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (name == spec.name || name == lower) return spec.id;
+  }
+  GHS_REQUIRE(false, "unknown case '" << name << "' (expected C1..C4)");
+  return CaseId::kC1;
+}
+
+}  // namespace ghs::workload

@@ -1,0 +1,41 @@
+// The paper's four evaluation cases.
+//
+//   C1: T = R = int32,            M = 1,048,576,000 (~4 GB)
+//   C2: T = int8,  R = int64,     M = 4,194,304,000 (~4 GB)
+//   C3: T = R = float32,          M = 1,048,576,000 (~4 GB)
+//   C4: T = R = float64,          M = 1,048,576,000 (~8 GB)
+//
+// Timing always uses the paper-scale element counts (the simulator does not
+// materialise the data); functional verification runs the same code paths
+// over a reduced element count that the host can comfortably hold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ghs/gpu/config.hpp"
+#include "ghs/util/units.hpp"
+
+namespace ghs::workload {
+
+enum class CaseId { kC1, kC2, kC3, kC4 };
+
+struct CaseSpec {
+  CaseId id;
+  const char* name;          // "C1"
+  const char* input_type;    // "int32"
+  const char* result_type;   // "int32"
+  Bytes element_size;
+  std::int64_t paper_elements;
+  gpu::CombineClass combine;
+  bool floating;
+};
+
+const CaseSpec& case_spec(CaseId id);
+const std::vector<CaseId>& all_cases();
+
+/// Parses "C1".."C4" (also accepts lowercase).
+CaseId parse_case(const std::string& name);
+
+}  // namespace ghs::workload

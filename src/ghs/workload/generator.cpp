@@ -1,0 +1,19 @@
+#include "ghs/workload/generator.hpp"
+
+namespace ghs::workload {
+
+const char* pattern_name(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kOnes:
+      return "ones";
+    case Pattern::kAlternating:
+      return "alternating";
+    case Pattern::kUniform:
+      return "uniform";
+    case Pattern::kRamp:
+      return "ramp";
+  }
+  return "?";
+}
+
+}  // namespace ghs::workload

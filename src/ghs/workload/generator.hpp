@@ -1,0 +1,57 @@
+// Deterministic input generators.
+//
+// Patterns are chosen so sums are verifiable and numerically interesting:
+//   kOnes       — all ones; the sum equals the element count.
+//   kAlternating— +1/-1 (or +1.0/-0.5 for floats) exercising cancellation.
+//   kUniform    — small pseudo-random values (ints in [0,16), floats in
+//                 [0,1)) from the seeded xoshiro generator.
+//   kRamp       — value = index mod 97, giving a closed-form check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ghs/util/rng.hpp"
+
+namespace ghs::workload {
+
+enum class Pattern { kOnes, kAlternating, kUniform, kRamp };
+
+const char* pattern_name(Pattern pattern);
+
+/// Generates `count` values of integral or floating type T.
+template <typename T>
+std::vector<T> generate(Pattern pattern, std::int64_t count,
+                        std::uint64_t seed) {
+  std::vector<T> out(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < count; ++i) {
+    T value{};
+    switch (pattern) {
+      case Pattern::kOnes:
+        value = T(1);
+        break;
+      case Pattern::kAlternating:
+        if constexpr (std::is_floating_point_v<T>) {
+          value = (i % 2 == 0) ? T(1.0) : T(-0.5);
+        } else {
+          value = (i % 2 == 0) ? T(1) : T(-1);
+        }
+        break;
+      case Pattern::kUniform:
+        if constexpr (std::is_floating_point_v<T>) {
+          value = static_cast<T>(rng.next_double());
+        } else {
+          value = static_cast<T>(rng.next_below(16));
+        }
+        break;
+      case Pattern::kRamp:
+        value = static_cast<T>(i % 97);
+        break;
+    }
+    out[static_cast<std::size_t>(i)] = value;
+  }
+  return out;
+}
+
+}  // namespace ghs::workload

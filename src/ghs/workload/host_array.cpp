@@ -1,0 +1,137 @@
+#include "ghs/workload/host_array.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/math.hpp"
+
+namespace ghs::workload {
+
+namespace {
+
+/// Result-type accumulator per case. C1 deliberately wraps in 32 bits.
+template <typename T>
+SumValue sum_range(CaseId id, const std::vector<T>& data, std::int64_t first,
+                   std::int64_t last) {
+  switch (id) {
+    case CaseId::kC1: {
+      std::int32_t acc = 0;
+      for (std::int64_t k = first; k < last; ++k) {
+        acc = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(acc) +
+            static_cast<std::uint32_t>(data[static_cast<std::size_t>(k)]));
+      }
+      return SumValue::of_int(acc);
+    }
+    case CaseId::kC2: {
+      std::int64_t acc = 0;
+      for (std::int64_t k = first; k < last; ++k) {
+        acc += static_cast<std::int64_t>(data[static_cast<std::size_t>(k)]);
+      }
+      return SumValue::of_int(acc);
+    }
+    case CaseId::kC3: {
+      float acc = 0.0f;
+      for (std::int64_t k = first; k < last; ++k) {
+        acc += static_cast<float>(data[static_cast<std::size_t>(k)]);
+      }
+      return SumValue::of_float(acc);
+    }
+    case CaseId::kC4: {
+      double acc = 0.0;
+      for (std::int64_t k = first; k < last; ++k) {
+        acc += static_cast<double>(data[static_cast<std::size_t>(k)]);
+      }
+      return SumValue::of_float(acc);
+    }
+  }
+  GHS_UNREACHABLE("bad case id");
+}
+
+}  // namespace
+
+bool SumValue::matches(const SumValue& other, double rel_tol) const {
+  if (floating != other.floating) return false;
+  if (!floating) return i == other.i;
+  return relative_difference(d, other.d) <= rel_tol;
+}
+
+std::string SumValue::to_string() const {
+  std::ostringstream oss;
+  if (floating) {
+    oss << d;
+  } else {
+    oss << i;
+  }
+  return oss.str();
+}
+
+HostArray HostArray::make(CaseId id, std::int64_t elements, Pattern pattern,
+                          std::uint64_t seed) {
+  GHS_REQUIRE(elements > 0, "elements=" << elements);
+  HostArray array;
+  array.case_id_ = id;
+  switch (id) {
+    case CaseId::kC1:
+      array.data_ = generate<std::int32_t>(pattern, elements, seed);
+      break;
+    case CaseId::kC2:
+      array.data_ = generate<std::int8_t>(pattern, elements, seed);
+      break;
+    case CaseId::kC3:
+      array.data_ = generate<float>(pattern, elements, seed);
+      break;
+    case CaseId::kC4:
+      array.data_ = generate<double>(pattern, elements, seed);
+      break;
+  }
+  return array;
+}
+
+std::int64_t HostArray::elements() const {
+  return std::visit(
+      [](const auto& v) { return static_cast<std::int64_t>(v.size()); },
+      data_);
+}
+
+SumValue HostArray::range_sum(std::int64_t first, std::int64_t last) const {
+  GHS_REQUIRE(first >= 0 && first <= last && last <= elements(),
+              "range [" << first << ", " << last << ") of " << elements());
+  return std::visit(
+      [&](const auto& v) { return sum_range(case_id_, v, first, last); },
+      data_);
+}
+
+SumValue HostArray::chunked_sum(std::int64_t chunks) const {
+  GHS_REQUIRE(chunks > 0, "chunks=" << chunks);
+  const std::int64_t n = elements();
+  const std::int64_t chunk = ceil_div(n, chunks);
+  SumValue acc = case_spec(case_id_).floating ? SumValue::of_float(0.0)
+                                              : SumValue::of_int(0);
+  for (std::int64_t first = 0; first < n; first += chunk) {
+    const std::int64_t last = std::min(n, first + chunk);
+    acc = combine(case_id_, acc, range_sum(first, last));
+  }
+  return acc;
+}
+
+SumValue HostArray::combine(CaseId id, const SumValue& a, const SumValue& b) {
+  switch (id) {
+    case CaseId::kC1: {
+      const auto wrapped = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(a.i) + static_cast<std::uint32_t>(b.i));
+      return SumValue::of_int(wrapped);
+    }
+    case CaseId::kC2:
+      return SumValue::of_int(a.i + b.i);
+    case CaseId::kC3:
+      return SumValue::of_float(static_cast<double>(
+          static_cast<float>(a.d) + static_cast<float>(b.d)));
+    case CaseId::kC4:
+      return SumValue::of_float(a.d + b.d);
+  }
+  GHS_UNREACHABLE("bad case id");
+}
+
+}  // namespace ghs::workload

@@ -1,0 +1,68 @@
+// Typed host arrays with reduction semantics faithful to the paper's four
+// cases: C1 accumulates in int32 (wraparound and all), C2 widens int8 into
+// int64, C3 accumulates in float32 (so ordering matters), C4 in float64.
+// chunked_sum emulates a parallel reduction's partial-sum tree: the range
+// is split into `chunks` contiguous pieces, each reduced serially, then
+// partials are combined in order — the reassociation a GPU reduction
+// performs, letting tests quantify float divergence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ghs/util/rng.hpp"
+#include "ghs/workload/cases.hpp"
+#include "ghs/workload/generator.hpp"
+
+namespace ghs::workload {
+
+/// A reduction result in the case's declared result type, widened for
+/// transport (int results in `i`, float results in `d`).
+struct SumValue {
+  bool floating = false;
+  std::int64_t i = 0;
+  double d = 0.0;
+
+  static SumValue of_int(std::int64_t v) { return SumValue{false, v, 0.0}; }
+  static SumValue of_float(double v) { return SumValue{true, 0, v}; }
+
+  /// Exact equality for int results; relative tolerance for float results.
+  bool matches(const SumValue& other, double rel_tol) const;
+
+  std::string to_string() const;
+};
+
+class HostArray {
+ public:
+  static HostArray make(CaseId id, std::int64_t elements, Pattern pattern,
+                        std::uint64_t seed);
+
+  CaseId case_id() const { return case_id_; }
+  std::int64_t elements() const;
+  Bytes bytes() const {
+    return elements() * case_spec(case_id_).element_size;
+  }
+
+  /// Serial left-to-right reduction in the declared result type.
+  SumValue serial_sum() const { return range_sum(0, elements()); }
+
+  /// Serial reduction of [first, last).
+  SumValue range_sum(std::int64_t first, std::int64_t last) const;
+
+  /// Parallel-shaped reduction: `chunks` contiguous partials, combined in
+  /// chunk order, all in the declared result type.
+  SumValue chunked_sum(std::int64_t chunks) const;
+
+  /// Combines two partial results with the case's result-type semantics.
+  static SumValue combine(CaseId id, const SumValue& a, const SumValue& b);
+
+ private:
+  CaseId case_id_ = CaseId::kC1;
+  std::variant<std::vector<std::int32_t>, std::vector<std::int8_t>,
+               std::vector<float>, std::vector<double>>
+      data_;
+};
+
+}  // namespace ghs::workload

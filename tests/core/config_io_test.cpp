@@ -1,0 +1,113 @@
+#include "ghs/core/config_io.hpp"
+
+#include "ghs/core/reduce.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::core {
+namespace {
+
+TEST(ConfigIoTest, EmptyPropertiesLeaveDefaults) {
+  SystemConfig config = gh200_config();
+  apply_properties(Properties::parse(""), config);
+  EXPECT_DOUBLE_EQ(config.topology.hbm_bw.gbps(), 4022.7);
+  EXPECT_EQ(config.gpu.num_sms, 132);
+}
+
+TEST(ConfigIoTest, AppliesTopologyAndGpuKeys) {
+  SystemConfig config = gh200_config();
+  apply_properties(Properties::parse(
+                       "topology.hbm_gbps = 6500\n"
+                       "topology.c2c_gbps_per_direction = 225\n"
+                       "gpu.num_sms = 160\n"
+                       "gpu.mem_latency_ns = 500\n"
+                       "gpu.um_hbm_efficiency = 0.9\n"),
+                   config);
+  EXPECT_DOUBLE_EQ(config.topology.hbm_bw.gbps(), 6500.0);
+  EXPECT_DOUBLE_EQ(config.topology.c2c_per_direction_bw.gbps(), 225.0);
+  EXPECT_EQ(config.gpu.num_sms, 160);
+  EXPECT_EQ(config.gpu.mem_latency, from_nanoseconds(500.0));
+  EXPECT_DOUBLE_EQ(config.gpu.um_hbm_efficiency, 0.9);
+}
+
+TEST(ConfigIoTest, AppliesCpuUmAndOmpKeys) {
+  SystemConfig config = gh200_config();
+  apply_properties(Properties::parse(
+                       "cpu.cores = 144\n"
+                       "cpu.aggregate_local_gbps = 960\n"
+                       "um.mode = access-counter\n"
+                       "um.gpu_access_threshold = 8\n"
+                       "um.page_size_mib = 4\n"
+                       "omp.default_threads = 256\n"
+                       "omp.grid_clamp = 1048576\n"),
+                   config);
+  EXPECT_EQ(config.cpu.cores, 144);
+  EXPECT_DOUBLE_EQ(config.cpu.aggregate_local_bw.gbps(), 960.0);
+  EXPECT_EQ(config.um.mode, um::MigrationMode::kAccessCounter);
+  EXPECT_EQ(config.um.gpu_access_threshold, 8);
+  EXPECT_EQ(config.um.page_size, 4 * kMiB);
+  EXPECT_EQ(config.omp.heuristic.default_threads, 256);
+  EXPECT_EQ(config.omp.heuristic.grid_clamp, 1048576);
+}
+
+TEST(ConfigIoTest, UnknownKeysRejected) {
+  SystemConfig config = gh200_config();
+  EXPECT_THROW(apply_properties(Properties::parse("gpu.smcount = 10\n"),
+                                config),
+               Error);
+}
+
+TEST(ConfigIoTest, InvalidValuesRejected) {
+  SystemConfig config = gh200_config();
+  EXPECT_THROW(apply_properties(
+                   Properties::parse("topology.hbm_gbps = -5\n"), config),
+               Error);
+  EXPECT_THROW(apply_properties(
+                   Properties::parse("gpu.um_hbm_efficiency = 1.5\n"),
+                   config),
+               Error);
+  EXPECT_THROW(apply_properties(Properties::parse("um.mode = magic\n"),
+                                config),
+               Error);
+  EXPECT_THROW(apply_properties(Properties::parse("cpu.cores = zero\n"),
+                                config),
+               Error);
+}
+
+TEST(ConfigIoTest, ConfigKeysListsEverySetter) {
+  const auto& keys = config_keys();
+  EXPECT_GE(keys.size(), 15u);
+  // Every listed key must be applicable (round-trip through a no-op-ish
+  // assignment) — probe a few representative ones.
+  for (const std::string key :
+       {"topology.hbm_gbps", "gpu.num_sms", "cpu.cores",
+        "um.fault_migration_gbps", "omp.grid_clamp"}) {
+    EXPECT_NE(std::find(keys.begin(), keys.end(), key), keys.end()) << key;
+  }
+}
+
+TEST(ConfigIoTest, ModifiedConfigChangesSimulationOutcome) {
+  // Halving HBM bandwidth should halve the optimized bandwidth.
+  SystemConfig config = gh200_config();
+  apply_properties(Properties::parse("topology.hbm_gbps = 2011.35\n"),
+                   config);
+  Platform fast;  // default
+  Platform slow(config);
+  GpuBenchmark bench;
+  bench.case_id = workload::CaseId::kC1;
+  bench.tuning = ReduceTuning{16384, 256, 4};
+  // Large enough that launch/update overheads do not dilute the ratio.
+  bench.elements = 1 << 28;
+  bench.iterations = 2;
+  const auto fast_result = run_gpu_benchmark(fast, bench);
+  const auto slow_result = run_gpu_benchmark(slow, bench);
+  EXPECT_NEAR(fast_result.bandwidth.gbps() / slow_result.bandwidth.gbps(),
+              2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ghs::core

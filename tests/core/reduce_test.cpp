@@ -1,0 +1,237 @@
+#include "ghs/core/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::core {
+namespace {
+
+using workload::CaseId;
+
+constexpr std::int64_t kSmallM = 1 << 24;  // 16 M elements for fast tests
+
+TEST(ReduceTest, PaperBestTuningMatchesSectionIv) {
+  for (CaseId id : workload::all_cases()) {
+    const auto tuning = paper_best_tuning(id);
+    EXPECT_EQ(tuning.teams, 65536);
+    EXPECT_EQ(tuning.thread_limit, 256);
+    EXPECT_EQ(tuning.v, id == CaseId::kC2 ? 32 : 4);
+  }
+}
+
+TEST(ReduceTest, MakeLoopDividesIterationsByV) {
+  const auto loop = make_reduction_loop(CaseId::kC1, 1024, 4, false, 0, 0);
+  EXPECT_EQ(loop.iterations, 256);
+  EXPECT_EQ(loop.v, 4);
+  EXPECT_EQ(loop.elements(), 1024);
+  EXPECT_EQ(loop.element_size, 4);
+}
+
+TEST(ReduceTest, MakeLoopRejectsDegenerateShapes) {
+  EXPECT_THROW(make_reduction_loop(CaseId::kC1, 0, 1, false, 0, 0), Error);
+  EXPECT_THROW(make_reduction_loop(CaseId::kC1, 2, 4, false, 0, 0), Error);
+}
+
+TEST(ReduceTest, ClausesFollowListing5) {
+  ReduceTuning tuning{65536, 256, 4};
+  const auto clauses = make_clauses(tuning);
+  ASSERT_TRUE(clauses.num_teams.has_value());
+  EXPECT_EQ(*clauses.num_teams, 16384);  // teams / V
+  EXPECT_EQ(*clauses.thread_limit, 256);
+}
+
+TEST(ReduceTest, BaselineHasNoClauses) {
+  const auto clauses = make_clauses(std::nullopt);
+  EXPECT_FALSE(clauses.num_teams.has_value());
+  EXPECT_FALSE(clauses.thread_limit.has_value());
+}
+
+TEST(ReduceTest, ClausesRejectIndivisibleTeams) {
+  EXPECT_THROW(make_clauses(ReduceTuning{100, 256, 32}), Error);
+}
+
+TEST(ReduceTest, GpuBenchmarkRunsAndReports) {
+  Platform platform;
+  GpuBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.tuning = ReduceTuning{4096, 256, 4};
+  bench.elements = kSmallM;
+  bench.iterations = 3;
+  const auto result = run_gpu_benchmark(platform, bench);
+  EXPECT_EQ(result.iterations, 3);
+  EXPECT_EQ(result.bytes_per_iteration, kSmallM * 4);
+  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.bandwidth.gbps(), 0.0);
+  EXPECT_GT(result.last_kernel_duration, 0);
+}
+
+TEST(ReduceTest, OptimizedBeatsBaselineAtReducedScale) {
+  Platform p1;
+  GpuBenchmark baseline;
+  baseline.case_id = CaseId::kC1;
+  baseline.elements = kSmallM;
+  baseline.iterations = 3;
+  const auto base = run_gpu_benchmark(p1, baseline);
+
+  Platform p2;
+  GpuBenchmark optimized = baseline;
+  optimized.tuning = ReduceTuning{65536, 256, 4};
+  const auto opt = run_gpu_benchmark(p2, optimized);
+  EXPECT_GT(opt.bandwidth.gbps(), base.bandwidth.gbps());
+}
+
+TEST(ReduceTest, BandwidthInsensitiveToIterationCount) {
+  GpuBenchmark bench;
+  bench.case_id = CaseId::kC3;
+  bench.tuning = ReduceTuning{8192, 256, 4};
+  bench.elements = kSmallM;
+  bench.iterations = 2;
+  Platform p1;
+  const auto two = run_gpu_benchmark(p1, bench);
+  bench.iterations = 10;
+  Platform p2;
+  const auto ten = run_gpu_benchmark(p2, bench);
+  EXPECT_NEAR(two.bandwidth.gbps() / ten.bandwidth.gbps(), 1.0, 0.01);
+}
+
+TEST(ReduceTest, PaperCpuPartsGrid) {
+  const auto parts = paper_cpu_parts();
+  ASSERT_EQ(parts.size(), 11u);
+  EXPECT_DOUBLE_EQ(parts.front(), 0.0);
+  EXPECT_DOUBLE_EQ(parts.back(), 1.0);
+  EXPECT_DOUBLE_EQ(parts[5], 0.5);
+}
+
+TEST(ReduceTest, HeteroBenchmarkProducesOnePointPerP) {
+  Platform platform;
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.cpu_parts = {0.0, 0.5, 1.0};
+  bench.elements = kSmallM;
+  bench.iterations = 4;
+  const auto result = run_hetero_benchmark(platform, bench);
+  ASSERT_EQ(result.points.size(), 3u);
+  for (const auto& point : result.points) {
+    EXPECT_GT(point.bandwidth.gbps(), 0.0);
+    EXPECT_GT(point.elapsed, 0);
+  }
+  EXPECT_NO_THROW(result.at(0.5));
+  EXPECT_THROW(result.at(0.25), Error);
+}
+
+TEST(ReduceTest, HeteroGpuOnlyPointSeesRemoteTraffic) {
+  Platform platform;
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.cpu_parts = {0.0};
+  bench.elements = kSmallM;
+  bench.iterations = 2;
+  const auto result = run_hetero_benchmark(platform, bench);
+  // First pass is cold: the GPU reads CPU-resident pages.
+  EXPECT_GT(result.points[0].gpu_remote_bytes, 0);
+}
+
+TEST(ReduceTest, HeteroCpuOnlyPointHasNoGpuTraffic) {
+  Platform platform;
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.cpu_parts = {1.0};
+  bench.elements = kSmallM;
+  bench.iterations = 2;
+  const auto result = run_hetero_benchmark(platform, bench);
+  EXPECT_EQ(result.points[0].gpu_remote_bytes, 0);
+  // Freshly allocated on the CPU: no remote CPU traffic either.
+  EXPECT_EQ(result.points[0].cpu_remote_bytes, 0);
+}
+
+TEST(ReduceTest, A2FreesItsAllocations) {
+  Platform platform;
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.site = AllocSite::kA2;
+  bench.cpu_parts = {0.0, 1.0};
+  bench.elements = kSmallM;
+  bench.iterations = 2;
+  EXPECT_NO_THROW(run_hetero_benchmark(platform, bench));
+}
+
+TEST(ReduceTest, PrefetchWarmsTheGpuSide) {
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.tuning = paper_best_tuning(CaseId::kC1);
+  bench.site = AllocSite::kA2;
+  bench.cpu_parts = {0.0};
+  bench.elements = kSmallM;
+  bench.iterations = 4;
+
+  Platform cold_platform;
+  const auto cold = run_hetero_benchmark(cold_platform, bench);
+  bench.prefetch = true;
+  Platform warm_platform;
+  const auto warm = run_hetero_benchmark(warm_platform, bench);
+  // Prefetch happens outside the timed region, so the GPU-only point runs
+  // entirely from HBM: faster and without remote traffic.
+  EXPECT_GT(warm.points[0].bandwidth.gbps(),
+            cold.points[0].bandwidth.gbps() * 1.5);
+  EXPECT_EQ(warm.points[0].gpu_remote_bytes, 0);
+  EXPECT_GT(cold.points[0].gpu_remote_bytes, 0);
+}
+
+TEST(ReduceTest, ReadMostlyAdviceFixesCpuOnlyStranding) {
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.tuning = paper_best_tuning(CaseId::kC1);
+  bench.site = AllocSite::kA1;
+  bench.cpu_parts = {0.0, 1.0};
+  bench.elements = kSmallM;
+  bench.iterations = 6;
+
+  Platform plain_platform;
+  const auto plain = run_hetero_benchmark(plain_platform, bench);
+  bench.read_mostly_advice = true;
+  Platform advised_platform;
+  const auto advised = run_hetero_benchmark(advised_platform, bench);
+  // Without the advice the p=1 point reads HBM-stranded pages; with it the
+  // home copies stayed in LPDDR.
+  EXPECT_GT(plain.at(1.0).cpu_remote_bytes, 0);
+  EXPECT_EQ(advised.at(1.0).cpu_remote_bytes, 0);
+  EXPECT_GT(advised.at(1.0).bandwidth.gbps(),
+            plain.at(1.0).bandwidth.gbps() * 1.2);
+}
+
+TEST(ReduceTest, TwoKernelStrategyHelpsTheBaselineShape) {
+  GpuBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.elements = kSmallM;
+  bench.iterations = 2;
+  // Baseline-shaped grid via the heuristic with v=1, 128 threads.
+  Platform p0;
+  const std::int64_t grid = p0.runtime().default_grid(kSmallM);
+  bench.tuning = ReduceTuning{grid, 128, 1};
+  const auto atomic = run_gpu_benchmark(p0, bench);
+  Platform p1;
+  bench.tuning->strategy = gpu::CombineStrategy::kTwoKernel;
+  const auto two_kernel = run_gpu_benchmark(p1, bench);
+  EXPECT_GT(two_kernel.bandwidth.gbps(), atomic.bandwidth.gbps() * 2.0);
+}
+
+TEST(ReduceTest, BestSpeedupOverGpuOnly) {
+  HeteroBenchmarkResult result;
+  HeteroPoint p0;
+  p0.cpu_part = 0.0;
+  p0.bandwidth = Bandwidth::from_gbps(100.0);
+  HeteroPoint p1;
+  p1.cpu_part = 0.1;
+  p1.bandwidth = Bandwidth::from_gbps(250.0);
+  result.points = {p0, p1};
+  EXPECT_DOUBLE_EQ(result.best_speedup_over_gpu_only(), 2.5);
+}
+
+TEST(ReduceTest, AllocSiteNames) {
+  EXPECT_STREQ(alloc_site_name(AllocSite::kA1), "A1");
+  EXPECT_STREQ(alloc_site_name(AllocSite::kA2), "A2");
+}
+
+}  // namespace
+}  // namespace ghs::core

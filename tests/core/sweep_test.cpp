@@ -1,0 +1,129 @@
+#include "ghs/core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::core {
+namespace {
+
+using workload::CaseId;
+
+SweepOptions small_sweep() {
+  SweepOptions opts;
+  opts.teams = {128, 1024, 8192};
+  opts.vs = {1, 4};
+  opts.iterations = 2;
+  opts.elements = 1 << 24;
+  return opts;
+}
+
+TEST(SweepTest, Fig1HasOneSeriesPerV) {
+  const auto figure = fig1_sweep(CaseId::kC1, small_sweep());
+  EXPECT_EQ(figure.series().size(), 2u);
+  EXPECT_NE(figure.find_series("v1"), nullptr);
+  EXPECT_NE(figure.find_series("v4"), nullptr);
+  for (const auto& series : figure.series()) {
+    EXPECT_EQ(series.points().size(), 3u);
+  }
+}
+
+TEST(SweepTest, Fig1BandwidthGrowsWithTeams) {
+  const auto figure = fig1_sweep(CaseId::kC1, small_sweep());
+  for (const auto& series : figure.series()) {
+    EXPECT_GT(series.at(8192).value(), series.at(128).value());
+  }
+}
+
+TEST(SweepTest, Table1RowsAreWellFormed) {
+  const auto rows = table1({CaseId::kC1, CaseId::kC3}, small_sweep());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.baseline_gbps, 0.0);
+    EXPECT_GT(row.optimized_gbps, row.baseline_gbps);
+    EXPECT_NEAR(row.speedup, row.optimized_gbps / row.baseline_gbps, 1e-9);
+    EXPECT_GT(row.optimized_efficiency, row.baseline_efficiency);
+    EXPECT_LT(row.optimized_efficiency, 1.0);
+  }
+}
+
+UmSweepOptions small_um() {
+  UmSweepOptions opts;
+  opts.cpu_parts = {0.0, 0.5, 1.0};
+  opts.iterations = 4;
+  opts.elements = 1 << 24;
+  return opts;
+}
+
+TEST(SweepTest, UmFigureHasOneSeriesPerCase) {
+  const auto figure = um_figure({CaseId::kC1, CaseId::kC4}, small_um());
+  EXPECT_EQ(figure.series().size(), 2u);
+  EXPECT_NE(figure.find_series("C1"), nullptr);
+  EXPECT_NE(figure.find_series("C4"), nullptr);
+}
+
+TEST(SweepTest, SpeedupFigureDividesPointwise) {
+  stats::Figure base("b", "p", "GB/s");
+  base.add_series("C1").add(0.0, 100.0);
+  stats::Figure opt("o", "p", "GB/s");
+  opt.add_series("C1").add(0.0, 400.0);
+  const auto ratio = speedup_figure(base, opt, "ratio");
+  EXPECT_DOUBLE_EQ(ratio.series()[0].at(0.0).value(), 4.0);
+}
+
+TEST(SweepTest, SpeedupFigureRequiresMatchingSeries) {
+  stats::Figure base("b", "p", "GB/s");
+  base.add_series("C1").add(0.0, 100.0);
+  stats::Figure opt("o", "p", "GB/s");
+  opt.add_series("C2").add(0.0, 400.0);
+  EXPECT_THROW(speedup_figure(base, opt, "ratio"), Error);
+}
+
+class SweepAllCasesTest : public ::testing::TestWithParam<CaseId> {};
+
+TEST_P(SweepAllCasesTest, Fig1SeriesAreOrderedAndBounded) {
+  const auto figure = fig1_sweep(GetParam(), small_sweep());
+  const double peak = 4022.7;
+  for (const auto& series : figure.series()) {
+    double previous = 0.0;
+    for (const auto& point : series.points()) {
+      EXPECT_GT(point.y, 0.0);
+      EXPECT_LE(point.y, peak);
+      // Near-monotone in teams: at the test's reduced M (16M elements),
+      // very large grids over-decompose the problem and give back a few
+      // percent (a real effect — the paper's M is 64x larger).
+      EXPECT_GE(point.y, previous * 0.93)
+          << series.name() << " at teams=" << point.x;
+      previous = point.y;
+    }
+  }
+}
+
+TEST_P(SweepAllCasesTest, BaselineWorseThanAnySweptPoint) {
+  SweepOptions opts = small_sweep();
+  opts.teams = {8192};
+  opts.vs = {4};
+  const auto rows = table1({GetParam()}, opts);
+  EXPECT_GT(rows.front().optimized_gbps, rows.front().baseline_gbps);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, SweepAllCasesTest,
+                         ::testing::Values(CaseId::kC1, CaseId::kC2,
+                                           CaseId::kC3, CaseId::kC4));
+
+TEST(SweepTest, UmExperimentSetAndSummary) {
+  UmSweepOptions opts = small_um();
+  opts.cpu_parts = {0.0, 0.1, 1.0};
+  const auto set = run_um_experiments({CaseId::kC1}, opts);
+  ASSERT_EQ(set.baseline_a1.size(), 1u);
+  ASSERT_EQ(set.optimized_a2.size(), 1u);
+  const auto summary = summarize_corun(set);
+  EXPECT_GE(summary.avg_best_speedup_optimized_a1, 1.0);
+  EXPECT_GE(summary.avg_best_speedup_optimized_a2, 1.0);
+  EXPECT_GT(summary.cpu_only_a2_over_a1, 1.0);
+  EXPECT_GT(summary.fig3_speedup_max, summary.fig3_speedup_min);
+  EXPECT_GT(summary.a1_over_a2_optimized, 0.0);
+}
+
+}  // namespace
+}  // namespace ghs::core

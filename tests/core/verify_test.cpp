@@ -1,0 +1,99 @@
+#include "ghs/core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::core {
+namespace {
+
+using workload::CaseId;
+using workload::HostArray;
+using workload::Pattern;
+
+TEST(VerifyTest, IntReductionVerifiesExactly) {
+  const auto input = HostArray::make(CaseId::kC1, 100'000, Pattern::kUniform,
+                                     11);
+  const auto report = verify_gpu_reduction(input, 4096, 0.0);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.relative_error, 0.0);
+  EXPECT_EQ(report.reference.i, report.parallel.i);
+}
+
+TEST(VerifyTest, Int8WideningVerifiesExactly) {
+  const auto input = HostArray::make(CaseId::kC2, 400'000, Pattern::kUniform,
+                                     12);
+  EXPECT_TRUE(verify_gpu_reduction(input, 1000, 0.0).ok);
+}
+
+TEST(VerifyTest, FloatReductionVerifiesWithinTolerance) {
+  const auto input = HostArray::make(CaseId::kC3, 1'000'000,
+                                     Pattern::kUniform, 13);
+  const auto report =
+      verify_gpu_reduction(input, 16384, default_tolerance(CaseId::kC3));
+  EXPECT_TRUE(report.ok) << "rel err " << report.relative_error;
+  EXPECT_LE(report.relative_error, 1e-3);
+}
+
+TEST(VerifyTest, DoubleReductionVerifiesTightly) {
+  const auto input = HostArray::make(CaseId::kC4, 1'000'000,
+                                     Pattern::kUniform, 14);
+  const auto report =
+      verify_gpu_reduction(input, 16384, default_tolerance(CaseId::kC4));
+  EXPECT_TRUE(report.ok);
+  EXPECT_LE(report.relative_error, 1e-9);
+}
+
+TEST(VerifyTest, ImpossibleToleranceFailsFloat) {
+  const auto input = HostArray::make(CaseId::kC3, 1'000'000,
+                                     Pattern::kUniform, 13);
+  const auto report = verify_gpu_reduction(input, 16384, 0.0);
+  // Reassociating a million float adds essentially never matches exactly.
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(VerifyTest, CoExecMatchesForAllSplits) {
+  const auto input = HostArray::make(CaseId::kC1, 100'000, Pattern::kUniform,
+                                     15);
+  for (double p : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    const auto split = static_cast<std::int64_t>(p * 100'000);
+    const auto report = verify_coexec(input, split, 512, 0.0);
+    EXPECT_TRUE(report.ok) << "p=" << p;
+  }
+}
+
+TEST(VerifyTest, CoExecFloatWithinTolerance) {
+  const auto input = HostArray::make(CaseId::kC3, 500'000, Pattern::kUniform,
+                                     16);
+  const auto report =
+      verify_coexec(input, 200'000, 4096, default_tolerance(CaseId::kC3));
+  EXPECT_TRUE(report.ok) << report.relative_error;
+}
+
+TEST(VerifyTest, CoExecAlternatingPatternCancels) {
+  const auto input = HostArray::make(CaseId::kC1, 10'000,
+                                     Pattern::kAlternating, 17);
+  EXPECT_EQ(input.serial_sum().i, 0);
+  EXPECT_TRUE(verify_coexec(input, 5'000, 16, 0.0).ok);
+  // Odd split leaves a +1/-1 imbalance between parts but the total still
+  // verifies.
+  EXPECT_TRUE(verify_coexec(input, 4'999, 16, 0.0).ok);
+}
+
+TEST(VerifyTest, SplitBoundsChecked) {
+  const auto input = HostArray::make(CaseId::kC1, 100, Pattern::kOnes, 1);
+  EXPECT_THROW(verify_coexec(input, -1, 4, 0.0), Error);
+  EXPECT_THROW(verify_coexec(input, 101, 4, 0.0), Error);
+  EXPECT_THROW(verify_coexec(input, 50, 0, 0.0), Error);
+}
+
+TEST(VerifyTest, DefaultTolerances) {
+  EXPECT_EQ(default_tolerance(CaseId::kC1), 0.0);
+  EXPECT_EQ(default_tolerance(CaseId::kC2), 0.0);
+  EXPECT_GT(default_tolerance(CaseId::kC3), 0.0);
+  EXPECT_GT(default_tolerance(CaseId::kC4), 0.0);
+  EXPECT_LT(default_tolerance(CaseId::kC4), default_tolerance(CaseId::kC3));
+}
+
+}  // namespace
+}  // namespace ghs::core

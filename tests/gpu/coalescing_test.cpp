@@ -1,0 +1,84 @@
+#include "ghs/gpu/coalescing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::gpu {
+namespace {
+
+WarpAccessPattern pattern(Bytes element_size, int v) {
+  WarpAccessPattern p;
+  p.element_size = element_size;
+  p.v = v;
+  return p;
+}
+
+TEST(CoalescingTest, UnitStrideInt32IsFullyCoalesced) {
+  const auto p = pattern(4, 1);
+  EXPECT_EQ(warp_load_span(p), 128);
+  EXPECT_EQ(sectors_per_load(p), 4);  // 128 B / 32 B sectors
+  EXPECT_DOUBLE_EQ(per_load_sector_efficiency(p), 1.0);
+  EXPECT_DOUBLE_EQ(iteration_sector_efficiency(p), 1.0);
+}
+
+TEST(CoalescingTest, UnitStrideInt8SharesSectors) {
+  const auto p = pattern(1, 1);
+  EXPECT_EQ(warp_load_span(p), 32);
+  EXPECT_EQ(sectors_per_load(p), 1);
+  EXPECT_DOUBLE_EQ(per_load_sector_efficiency(p), 1.0);
+}
+
+TEST(CoalescingTest, StridedInt32LoadWastesSectors) {
+  // V = 4: lanes 16 B apart; a 32 B sector holds 2 lanes' elements.
+  const auto p = pattern(4, 4);
+  EXPECT_EQ(warp_load_span(p), 4 + 31 * 16);
+  EXPECT_EQ(sectors_per_load(p), 16);
+  EXPECT_DOUBLE_EQ(per_load_sector_efficiency(p), 128.0 / (16 * 32));
+}
+
+TEST(CoalescingTest, WideStrideTouchesOneSectorPerLane) {
+  // V = 32 int32: stride 128 B >= sector, 32 distinct sectors.
+  const auto p = pattern(4, 32);
+  EXPECT_EQ(sectors_per_load(p), 32);
+  EXPECT_DOUBLE_EQ(per_load_sector_efficiency(p), 128.0 / (32 * 32));
+}
+
+TEST(CoalescingTest, IterationEfficiencyIsOneRegardlessOfV) {
+  for (Bytes size : {Bytes{1}, Bytes{4}, Bytes{8}}) {
+    for (int v : {1, 2, 4, 8, 16, 32}) {
+      const auto p = pattern(size, v);
+      EXPECT_DOUBLE_EQ(iteration_sector_efficiency(p), 1.0)
+          << "size=" << size << " v=" << v;
+    }
+  }
+}
+
+TEST(CoalescingTest, IterationSectorsScaleWithV) {
+  EXPECT_EQ(sectors_per_iteration(pattern(4, 1)), 4);
+  EXPECT_EQ(sectors_per_iteration(pattern(4, 8)), 32);
+  EXPECT_EQ(sectors_per_iteration(pattern(8, 4)), 32);
+  EXPECT_EQ(sectors_per_iteration(pattern(1, 4)), 4);
+}
+
+TEST(CoalescingTest, DoublePrecisionUnitStride) {
+  const auto p = pattern(8, 1);
+  EXPECT_EQ(warp_load_span(p), 256);
+  EXPECT_EQ(sectors_per_load(p), 8);
+  EXPECT_DOUBLE_EQ(per_load_sector_efficiency(p), 1.0);
+}
+
+TEST(CoalescingTest, ValidationRejectsBadPatterns) {
+  WarpAccessPattern p;
+  p.v = 0;
+  EXPECT_THROW(warp_load_span(p), Error);
+  p = WarpAccessPattern{};
+  p.element_size = 0;
+  EXPECT_THROW(sectors_per_load(p), Error);
+  p = WarpAccessPattern{};
+  p.sector_bytes = 0;
+  EXPECT_THROW(sectors_per_iteration(p), Error);
+}
+
+}  // namespace
+}  // namespace ghs::gpu

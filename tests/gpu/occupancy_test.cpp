@@ -1,0 +1,85 @@
+#include "ghs/gpu/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::gpu {
+namespace {
+
+TEST(OccupancyTest, ThreadLimitBindsResidency) {
+  GpuConfig config;
+  // 2048 threads per SM / 256-thread CTAs = 8 CTAs per SM.
+  EXPECT_EQ(ctas_per_sm(config, 256), 8);
+  // 128-thread CTAs would allow 16.
+  EXPECT_EQ(ctas_per_sm(config, 128), 16);
+}
+
+TEST(OccupancyTest, CtaSlotLimitBinds) {
+  GpuConfig config;
+  // 32-thread CTAs: thread limit allows 64 but the CTA-slot limit is 32.
+  EXPECT_EQ(ctas_per_sm(config, 32), 32);
+}
+
+TEST(OccupancyTest, WholeDeviceResidency) {
+  GpuConfig config;
+  EXPECT_EQ(resident_ctas(config, 256), 8LL * 132);
+  EXPECT_EQ(resident_ctas(config, 128), 16LL * 132);
+}
+
+TEST(OccupancyTest, InvalidThreadCountsRejected) {
+  GpuConfig config;
+  EXPECT_THROW(ctas_per_sm(config, 0), Error);
+  EXPECT_THROW(ctas_per_sm(config, 100), Error);  // not a warp multiple
+  EXPECT_THROW(ctas_per_sm(config, 4096), Error);  // above SM capacity
+}
+
+TEST(OccupancyTest, RateCapGrowsWithV) {
+  GpuConfig config;
+  const double v1 = cta_rate_cap(config, 256, 1, 4);
+  const double v2 = cta_rate_cap(config, 256, 2, 4);
+  const double v4 = cta_rate_cap(config, 256, 4, 4);
+  EXPECT_GT(v2, v1);
+  EXPECT_GT(v4, v2);
+}
+
+TEST(OccupancyTest, RateCapSaturatesAtLsuDepth) {
+  GpuConfig config;
+  // With iteration_ilp = 2 and max outstanding 8, v = 4 already saturates.
+  const double v4 = cta_rate_cap(config, 256, 4, 4);
+  const double v8 = cta_rate_cap(config, 256, 8, 4);
+  const double v32 = cta_rate_cap(config, 256, 32, 4);
+  EXPECT_DOUBLE_EQ(v4, v8);
+  EXPECT_DOUBLE_EQ(v8, v32);
+}
+
+TEST(OccupancyTest, RateCapScalesWithElementSize) {
+  GpuConfig config;
+  const double int8 = cta_rate_cap(config, 256, 32, 1);
+  const double int32 = cta_rate_cap(config, 256, 32, 4);
+  const double fp64 = cta_rate_cap(config, 256, 32, 8);
+  EXPECT_DOUBLE_EQ(int32, 4.0 * int8);
+  EXPECT_DOUBLE_EQ(fp64, 8.0 * int8);
+}
+
+TEST(OccupancyTest, RateCapScalesWithWarps) {
+  GpuConfig config;
+  EXPECT_DOUBLE_EQ(cta_rate_cap(config, 256, 4, 4),
+                   2.0 * cta_rate_cap(config, 128, 4, 4));
+}
+
+TEST(OccupancyTest, RateCapMatchesClosedForm) {
+  GpuConfig config;
+  // 8 warps x min(8, 2*4)=8 loads x 32 lanes x 4 B / 450 ns.
+  const double expected = 8.0 * 8.0 * 32.0 * 4.0 / 450e-9;
+  EXPECT_NEAR(cta_rate_cap(config, 256, 4, 4), expected, expected * 1e-9);
+}
+
+TEST(OccupancyTest, RejectsBadLoopShape) {
+  GpuConfig config;
+  EXPECT_THROW(cta_rate_cap(config, 256, 0, 4), Error);
+  EXPECT_THROW(cta_rate_cap(config, 256, 1, 0), Error);
+}
+
+}  // namespace
+}  // namespace ghs::gpu

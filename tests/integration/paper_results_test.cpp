@@ -1,0 +1,134 @@
+// Reproduction-lock tests: run the paper's Table 1 protocol at full paper
+// scale and assert the simulated results stay within a few percent of the
+// published numbers. These tests pin the calibration — if a model change
+// silently shifts the headline reproduction, they fail.
+#include <gtest/gtest.h>
+
+#include "ghs/core/sweep.hpp"
+
+namespace ghs::core {
+namespace {
+
+using workload::CaseId;
+
+class PaperTable1Test : public ::testing::Test {
+ protected:
+  static const std::vector<Table1Row>& rows() {
+    static const std::vector<Table1Row> result = [] {
+      SweepOptions opts;
+      opts.iterations = 5;  // bandwidth is repetition-insensitive here
+      return table1(workload::all_cases(), opts);
+    }();
+    return result;
+  }
+
+  static const Table1Row& row(CaseId id) {
+    for (const auto& r : rows()) {
+      if (r.case_id == id) return r;
+    }
+    throw std::runtime_error("missing row");
+  }
+};
+
+struct PaperNumbers {
+  CaseId id;
+  double baseline;
+  double optimized;
+  double speedup;
+};
+
+constexpr double kTolerance = 0.05;  // 5 % of the published value
+
+TEST_F(PaperTable1Test, BaselineBandwidthsMatchPaper) {
+  const PaperNumbers paper[] = {
+      {CaseId::kC1, 620.0, 3795.0, 6.120},
+      {CaseId::kC2, 172.0, 3596.0, 20.906},
+      {CaseId::kC3, 271.0, 3790.0, 13.985},
+      {CaseId::kC4, 526.0, 3833.0, 7.287},
+  };
+  for (const auto& expected : paper) {
+    const auto& actual = row(expected.id);
+    EXPECT_NEAR(actual.baseline_gbps, expected.baseline,
+                expected.baseline * kTolerance)
+        << workload::case_spec(expected.id).name;
+    EXPECT_NEAR(actual.optimized_gbps, expected.optimized,
+                expected.optimized * kTolerance)
+        << workload::case_spec(expected.id).name;
+    EXPECT_NEAR(actual.speedup, expected.speedup,
+                expected.speedup * kTolerance)
+        << workload::case_spec(expected.id).name;
+  }
+}
+
+TEST_F(PaperTable1Test, EfficiencyBandsMatchPaper) {
+  // Paper: optimized efficiency 89-95 %; baselines capped at 15.4 %.
+  for (const auto& r : rows()) {
+    EXPECT_GE(r.optimized_efficiency, 0.88)
+        << workload::case_spec(r.case_id).name;
+    EXPECT_LE(r.optimized_efficiency, 0.96);
+    EXPECT_LE(r.baseline_efficiency, 0.16);
+  }
+}
+
+TEST_F(PaperTable1Test, C2HasTheLargestSpeedup) {
+  double c2 = row(CaseId::kC2).speedup;
+  for (const auto& r : rows()) {
+    if (r.case_id != CaseId::kC2) {
+      EXPECT_GT(c2, r.speedup);
+    }
+  }
+}
+
+TEST_F(PaperTable1Test, C2HasTheLowestEfficiency) {
+  double c2 = row(CaseId::kC2).optimized_efficiency;
+  for (const auto& r : rows()) {
+    if (r.case_id != CaseId::kC2) {
+      EXPECT_LT(c2, r.optimized_efficiency);
+    }
+  }
+}
+
+TEST(PaperFig1Test, SaturationThresholdsMatchSectionIiiC) {
+  SweepOptions opts;
+  opts.iterations = 3;
+  opts.vs = {4};
+  opts.teams = {128, 4096, 65536};
+  // C1: "performance becomes almost saturated when the number of teams is
+  // 4096" — 4096 teams should reach >= 90 % of the 65536-team value.
+  {
+    const auto fig = fig1_sweep(CaseId::kC1, opts);
+    const auto& v4 = *fig.find_series("v4");
+    EXPECT_GE(v4.at(4096).value(), 0.90 * v4.at(65536).value());
+    EXPECT_LT(v4.at(128).value(), 0.5 * v4.at(65536).value());
+  }
+  // C2 saturates later: at 4096 teams it is still well below the top for
+  // the paper's chosen V = 32.
+  {
+    SweepOptions c2_opts = opts;
+    c2_opts.vs = {32};
+    const auto fig = fig1_sweep(CaseId::kC2, c2_opts);
+    const auto& v32 = *fig.find_series("v32");
+    EXPECT_LT(v32.at(4096).value(), 0.75 * v32.at(65536).value());
+  }
+}
+
+TEST(PaperFig1Test, ProfiledGridGeometryMatchesSectionIiiC) {
+  // "the grid sizes of the GPU reduction kernels match the team sizes
+  // specified by the num_teams clause" and the runtime defaults.
+  Platform platform;
+  auto& rt = platform.runtime();
+  EXPECT_EQ(rt.default_grid(1'048'576'000), 8'192'000);
+  EXPECT_EQ(rt.default_grid(4'194'304'000), 16'777'215);
+
+  omp::TeamsClauses clauses;
+  clauses.num_teams = 65536 / 4;
+  clauses.thread_limit = 256;
+  const auto desc = rt.lower(
+      make_reduction_loop(CaseId::kC1, 1'048'576'000, 4, false, 0, 0),
+      clauses);
+  EXPECT_EQ(desc.grid, 16384);
+  EXPECT_EQ(desc.threads_per_cta, 256);
+}
+
+}  // namespace
+}  // namespace ghs::core

@@ -1,0 +1,261 @@
+// Property-style parameterized sweeps over the simulation invariants:
+// determinism, conservation, monotone scaling, and functional correctness
+// of the reductions across cases/patterns/splits.
+#include <gtest/gtest.h>
+
+#include "ghs/core/reduce.hpp"
+#include "ghs/core/verify.hpp"
+#include "ghs/util/rng.hpp"
+
+namespace ghs::core {
+namespace {
+
+using workload::CaseId;
+using workload::HostArray;
+using workload::Pattern;
+
+// ---------------------------------------------------------------------------
+// Determinism: identical benchmark configurations produce bit-identical
+// simulated times.
+// ---------------------------------------------------------------------------
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<CaseId, int>> {};
+
+TEST_P(DeterminismTest, RepeatedRunsAgreeExactly) {
+  const auto [case_id, v] = GetParam();
+  GpuBenchmark bench;
+  bench.case_id = case_id;
+  bench.tuning = ReduceTuning{4096, 256, v};
+  bench.elements = 1 << 22;
+  bench.iterations = 2;
+  Platform p1;
+  const auto a = run_gpu_benchmark(p1, bench);
+  Platform p2;
+  const auto b = run_gpu_benchmark(p2, bench);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCasesAndV, DeterminismTest,
+    ::testing::Combine(::testing::Values(CaseId::kC1, CaseId::kC2,
+                                         CaseId::kC3, CaseId::kC4),
+                       ::testing::Values(1, 4, 32)));
+
+// ---------------------------------------------------------------------------
+// Scaling: simulated time is monotone in the number of elements.
+// ---------------------------------------------------------------------------
+
+class ScalingTest : public ::testing::TestWithParam<CaseId> {};
+
+TEST_P(ScalingTest, TimeMonotoneInBytes) {
+  SimTime previous = 0;
+  for (std::int64_t elements : {1 << 20, 1 << 22, 1 << 24}) {
+    GpuBenchmark bench;
+    bench.case_id = GetParam();
+    bench.tuning = ReduceTuning{8192, 256, 4};
+    bench.elements = elements;
+    bench.iterations = 2;
+    Platform platform;
+    const auto result = run_gpu_benchmark(platform, bench);
+    EXPECT_GT(result.elapsed, previous);
+    previous = result.elapsed;
+  }
+}
+
+TEST_P(ScalingTest, BandwidthNeverExceedsPeak) {
+  for (std::int64_t teams : {128, 2048, 65536}) {
+    GpuBenchmark bench;
+    bench.case_id = GetParam();
+    bench.tuning = ReduceTuning{teams, 256, 4};
+    bench.elements = 1 << 24;
+    bench.iterations = 2;
+    Platform platform;
+    const auto result = run_gpu_benchmark(platform, bench);
+    EXPECT_LE(result.bandwidth.gbps(), 4022.7) << "teams=" << teams;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, ScalingTest,
+                         ::testing::Values(CaseId::kC1, CaseId::kC2,
+                                           CaseId::kC3, CaseId::kC4));
+
+// ---------------------------------------------------------------------------
+// Functional correctness across the full case x pattern grid.
+// ---------------------------------------------------------------------------
+
+class CorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<CaseId, Pattern>> {};
+
+TEST_P(CorrectnessTest, ChunkedReductionVerifies) {
+  const auto [case_id, pattern] = GetParam();
+  const auto input = HostArray::make(case_id, 200'000, pattern, 77);
+  const auto report =
+      verify_gpu_reduction(input, 1024, default_tolerance(case_id));
+  EXPECT_TRUE(report.ok) << "case " << workload::case_spec(case_id).name
+                         << " pattern " << workload::pattern_name(pattern)
+                         << " rel err " << report.relative_error;
+}
+
+TEST_P(CorrectnessTest, CoExecVerifiesAtEveryTenthSplit) {
+  const auto [case_id, pattern] = GetParam();
+  const auto input = HostArray::make(case_id, 100'000, pattern, 78);
+  for (int tenth = 0; tenth <= 10; ++tenth) {
+    const auto split = input.elements() * tenth / 10;
+    const auto report =
+        verify_coexec(input, split, 512, default_tolerance(case_id));
+    EXPECT_TRUE(report.ok) << "split " << split << " rel err "
+                           << report.relative_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CasePatternGrid, CorrectnessTest,
+    ::testing::Combine(::testing::Values(CaseId::kC1, CaseId::kC2,
+                                         CaseId::kC3, CaseId::kC4),
+                       ::testing::Values(Pattern::kOnes,
+                                         Pattern::kAlternating,
+                                         Pattern::kUniform, Pattern::kRamp)));
+
+// ---------------------------------------------------------------------------
+// Chunk-count invariance for integer reductions (any grid geometry sums to
+// the same value).
+// ---------------------------------------------------------------------------
+
+class ChunkInvarianceTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ChunkInvarianceTest, IntSumsIndependentOfGrid) {
+  const auto input =
+      HostArray::make(CaseId::kC2, 123'457, Pattern::kUniform, 5);
+  const auto serial = input.serial_sum();
+  EXPECT_EQ(input.chunked_sum(GetParam()).i, serial.i);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridShapes, ChunkInvarianceTest,
+                         ::testing::Values(1, 2, 3, 16, 128, 1000, 123'457));
+
+// ---------------------------------------------------------------------------
+// UM sweep invariants at reduced scale across both sites.
+// ---------------------------------------------------------------------------
+
+class UmSiteTest : public ::testing::TestWithParam<AllocSite> {};
+
+TEST_P(UmSiteTest, SweepIsDeterministic) {
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC1;
+  bench.site = GetParam();
+  bench.cpu_parts = {0.0, 0.5, 1.0};
+  bench.elements = 1 << 24;
+  bench.iterations = 3;
+  Platform p1;
+  const auto a = run_hetero_benchmark(p1, bench);
+  Platform p2;
+  const auto b = run_hetero_benchmark(p2, bench);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].elapsed, b.points[i].elapsed);
+  }
+}
+
+TEST_P(UmSiteTest, ElapsedPositiveAndFinite) {
+  HeteroBenchmark bench;
+  bench.case_id = CaseId::kC4;
+  bench.site = GetParam();
+  bench.cpu_parts = paper_cpu_parts();
+  bench.elements = 1 << 22;
+  bench.iterations = 2;
+  Platform platform;
+  const auto result = run_hetero_benchmark(platform, bench);
+  ASSERT_EQ(result.points.size(), 11u);
+  for (const auto& point : result.points) {
+    EXPECT_GT(point.elapsed, 0);
+    EXPECT_GT(point.bandwidth.gbps(), 0.0);
+    EXPECT_LT(point.bandwidth.gbps(), 4522.7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSites, UmSiteTest,
+                         ::testing::Values(AllocSite::kA1, AllocSite::kA2));
+
+// ---------------------------------------------------------------------------
+// UM residency conservation: whatever sequence of passes, prefetches and
+// migrations runs, every byte lives in exactly one region.
+// ---------------------------------------------------------------------------
+
+class UmConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UmConservationTest, ResidencyPartitionsTheAllocation) {
+  Platform platform;
+  auto& um = platform.um();
+  ghs::Rng rng(GetParam());
+  const Bytes size = (3 + static_cast<Bytes>(rng.next_below(6))) * 16 *
+                     (2 * kMiB) / 4;  // 24..128 MiB, not page-aligned below
+  const auto alloc =
+      um.allocate(size + 12345, mem::RegionId::kLpddr, "prop");
+  const Bytes total = um.size(alloc);
+
+  for (int step = 0; step < 40; ++step) {
+    const Bytes offset = static_cast<Bytes>(rng.next_below(
+        static_cast<std::uint64_t>(total)));
+    const Bytes length = std::min<Bytes>(
+        total - offset,
+        static_cast<Bytes>(rng.next_below(static_cast<std::uint64_t>(
+            total / 2 + 1))));
+    switch (rng.next_below(4)) {
+      case 0:
+        um.plan_pass(alloc, um::Accessor::kGpu, offset, length);
+        break;
+      case 1:
+        um.plan_pass(alloc, um::Accessor::kCpu, offset, length);
+        break;
+      case 2:
+        um.prefetch(alloc, offset, length, mem::RegionId::kHbm, nullptr);
+        break;
+      case 3:
+        um.prefetch(alloc, offset, length, mem::RegionId::kLpddr, nullptr);
+        break;
+    }
+    if (step % 5 == 0) platform.run();
+    const Bytes hbm = um.resident_bytes(alloc, mem::RegionId::kHbm);
+    const Bytes lpddr = um.resident_bytes(alloc, mem::RegionId::kLpddr);
+    ASSERT_EQ(hbm + lpddr, total) << "step " << step;
+  }
+  platform.run();
+  const Bytes hbm = um.resident_bytes(alloc, mem::RegionId::kHbm);
+  const Bytes lpddr = um.resident_bytes(alloc, mem::RegionId::kLpddr);
+  EXPECT_EQ(hbm + lpddr, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UmConservationTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---------------------------------------------------------------------------
+// Host-schedule property: dynamic never loses to static by more than the
+// documented work-queue overhead, for any split of the co-executed range.
+// ---------------------------------------------------------------------------
+
+class ScheduleSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScheduleSweepTest, DynamicWithinOverheadOfStatic) {
+  const double p = GetParam();
+  auto run_with = [&](cpu::ScheduleKind schedule) {
+    Platform platform;
+    HeteroBenchmark bench;
+    bench.case_id = CaseId::kC1;
+    bench.cpu_parts = {p};
+    bench.elements = 1 << 24;
+    bench.iterations = 3;
+    bench.cpu_schedule = schedule;
+    return run_hetero_benchmark(platform, bench).points[0].elapsed;
+  };
+  const SimTime static_time = run_with(cpu::ScheduleKind::kStatic);
+  const SimTime dynamic_time = run_with(cpu::ScheduleKind::kDynamic);
+  // 3 iterations x 4 us queue overhead bounds any regression.
+  EXPECT_LE(dynamic_time, static_time + 3 * from_nanoseconds(4000.0) +
+                              kMicrosecond);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, ScheduleSweepTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace ghs::core

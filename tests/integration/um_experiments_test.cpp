@@ -1,0 +1,117 @@
+// Integration tests of the Section IV unified-memory co-execution story,
+// run at full paper scale for C1 (one case keeps the suite fast; the bench
+// binaries cover all four).
+#include <gtest/gtest.h>
+
+#include "ghs/core/sweep.hpp"
+
+namespace ghs::core {
+namespace {
+
+using workload::CaseId;
+
+class UmExperimentsTest : public ::testing::Test {
+ protected:
+  static const UmExperimentSet& set() {
+    static const UmExperimentSet result = [] {
+      UmSweepOptions opts;
+      opts.iterations = 200;  // the warm-up amortisation needs the real N
+      return run_um_experiments({CaseId::kC1}, opts);
+    }();
+    return result;
+  }
+};
+
+TEST_F(UmExperimentsTest, GpuOnlyReferenceIsIdenticalAcrossSites) {
+  // At p = 0 the A1 and A2 protocols have executed the same history.
+  const double a1 = set().optimized_a1[0].at(0.0).bandwidth.gbps();
+  const double a2 = set().optimized_a2[0].at(0.0).bandwidth.gbps();
+  EXPECT_NEAR(a1, a2, a1 * 1e-6);
+}
+
+TEST_F(UmExperimentsTest, CoExecutionBeatsGpuOnlyWithA1) {
+  // Fig. 2b: distributing across both devices beats GPU-only execution.
+  const double best = set().optimized_a1[0].best_speedup_over_gpu_only();
+  EXPECT_GE(best, 1.8);
+  EXPECT_LE(best, 3.5);
+}
+
+TEST_F(UmExperimentsTest, A2CoExecutionBarelyBeatsGpuOnly) {
+  // Fig. 4b: the best A2 speedup for C1 is ~1.1 (paper: 1.139).
+  const double best = set().optimized_a2[0].best_speedup_over_gpu_only();
+  EXPECT_GE(best, 1.0);
+  EXPECT_LE(best, 1.35);
+}
+
+TEST_F(UmExperimentsTest, CpuOnlyIsSlowerWithA1) {
+  // Paper: CPU-only with A1 is 1.367x slower than with A2 because the
+  // pages are stranded in HBM after the earlier GPU-heavy experiments.
+  const double a1 = set().optimized_a1[0].at(1.0).bandwidth.gbps();
+  const double a2 = set().optimized_a2[0].at(1.0).bandwidth.gbps();
+  EXPECT_NEAR(a2 / a1, 1.367, 0.07);
+}
+
+TEST_F(UmExperimentsTest, CpuOnlyA1ReadsRemote) {
+  const auto& point = set().optimized_a1[0].at(1.0);
+  EXPECT_GT(point.cpu_remote_bytes, 0);
+  const auto& a2_point = set().optimized_a2[0].at(1.0);
+  EXPECT_EQ(a2_point.cpu_remote_bytes, 0);
+}
+
+TEST_F(UmExperimentsTest, A1WarmsUpAcrossTheSweep) {
+  // In A1, the p = 0 experiment migrates the whole array; later points see
+  // (almost) no GPU-side remote traffic.
+  const auto& runs = set().optimized_a1[0];
+  EXPECT_GT(runs.at(0.0).gpu_remote_bytes, 0);
+  EXPECT_EQ(runs.at(0.5).gpu_remote_bytes, 0);
+}
+
+TEST_F(UmExperimentsTest, A2StaysColdAtEveryP) {
+  // Fresh allocation per p: every point with a GPU part pays remote/fault
+  // traffic again.
+  const auto& runs = set().optimized_a2[0];
+  EXPECT_GT(runs.at(0.0).gpu_remote_bytes, 0);
+  EXPECT_GT(runs.at(0.5).gpu_remote_bytes, 0);
+  EXPECT_EQ(runs.at(1.0).gpu_remote_bytes, 0);
+}
+
+TEST_F(UmExperimentsTest, OptimizedOverBaselineSpeedupLargestAtLowP) {
+  // Figs. 3/5: speedups are significant when the GPU part dominates and
+  // fade to ~1 as the CPU part takes over.
+  const auto& base = set().baseline_a1[0];
+  const auto& opt = set().optimized_a1[0];
+  const double at_low_p = opt.at(0.0).bandwidth.gbps() /
+                          base.at(0.0).bandwidth.gbps();
+  const double at_high_p = opt.at(0.9).bandwidth.gbps() /
+                           base.at(0.9).bandwidth.gbps();
+  EXPECT_GT(at_low_p, 2.0);
+  EXPECT_NEAR(at_high_p, 1.0, 0.05);
+}
+
+TEST_F(UmExperimentsTest, BaselineKernelCapsTheGpuSide) {
+  // The baseline co-run never reaches the optimized co-run's best.
+  double best_base = 0.0;
+  double best_opt = 0.0;
+  for (const auto& p : set().baseline_a1[0].points) {
+    best_base = std::max(best_base, p.bandwidth.gbps());
+  }
+  for (const auto& p : set().optimized_a1[0].points) {
+    best_opt = std::max(best_opt, p.bandwidth.gbps());
+  }
+  EXPECT_GT(best_opt, best_base);
+}
+
+TEST_F(UmExperimentsTest, BandwidthCurvesStayBelowAggregateCapacity) {
+  // Sanity: no point exceeds HBM + LPDDR combined capacity.
+  const double cap = 4022.7 + 500.0;
+  for (const auto* runs :
+       {&set().baseline_a1[0], &set().optimized_a1[0], &set().baseline_a2[0],
+        &set().optimized_a2[0]}) {
+    for (const auto& point : runs->points) {
+      EXPECT_LE(point.bandwidth.gbps(), cap);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ghs::core

@@ -1,0 +1,95 @@
+#include "ghs/omp/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/core/platform.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::omp {
+namespace {
+
+TEST(EnvTest, EmptyEnvironmentHasNoIcvs) {
+  const auto env = Environment::parse({});
+  EXPECT_FALSE(env.num_teams.has_value());
+  EXPECT_FALSE(env.teams_thread_limit.has_value());
+  EXPECT_FALSE(env.num_threads.has_value());
+  EXPECT_FALSE(env.default_device.has_value());
+}
+
+TEST(EnvTest, ParsesKnownVariables) {
+  const auto env = Environment::parse({{"OMP_NUM_TEAMS", "4096"},
+                                       {"OMP_TEAMS_THREAD_LIMIT", "256"},
+                                       {"OMP_NUM_THREADS", "72"},
+                                       {"OMP_DEFAULT_DEVICE", "0"}});
+  EXPECT_EQ(env.num_teams.value(), 4096);
+  EXPECT_EQ(env.teams_thread_limit.value(), 256);
+  EXPECT_EQ(env.num_threads.value(), 72);
+  EXPECT_EQ(env.default_device.value(), 0);
+}
+
+TEST(EnvTest, ThreadLimitAliasAccepted) {
+  const auto env = Environment::parse({{"OMP_THREAD_LIMIT", "128"}});
+  EXPECT_EQ(env.teams_thread_limit.value(), 128);
+}
+
+TEST(EnvTest, UnknownVariablesIgnored) {
+  const auto env = Environment::parse(
+      {{"OMP_SCHEDULE", "dynamic"}, {"PATH", "/usr/bin"}});
+  EXPECT_FALSE(env.num_teams.has_value());
+}
+
+TEST(EnvTest, MalformedValuesThrow) {
+  EXPECT_THROW(Environment::parse({{"OMP_NUM_TEAMS", "many"}}), Error);
+  EXPECT_THROW(Environment::parse({{"OMP_NUM_TEAMS", "0"}}), Error);
+  EXPECT_THROW(Environment::parse({{"OMP_NUM_TEAMS", "-4"}}), Error);
+  EXPECT_THROW(Environment::parse({{"OMP_DEFAULT_DEVICE", "-1"}}), Error);
+}
+
+TEST(EnvTest, ParseListRoundTrip) {
+  const auto env = Environment::parse_list(
+      "OMP_NUM_TEAMS=1024,OMP_TEAMS_THREAD_LIMIT=256");
+  EXPECT_EQ(env.num_teams.value(), 1024);
+  EXPECT_EQ(env.teams_thread_limit.value(), 256);
+  EXPECT_NO_THROW(Environment::parse_list(""));
+  EXPECT_THROW(Environment::parse_list("NOEQUALS"), Error);
+}
+
+TEST(EnvTest, RuntimeHonoursEnvironmentBelowClauses) {
+  core::SystemConfig config = core::gh200_config();
+  config.omp.env = Environment::parse(
+      {{"OMP_NUM_TEAMS", "2048"}, {"OMP_TEAMS_THREAD_LIMIT", "256"}});
+  core::Platform platform(config);
+  auto& rt = platform.runtime();
+
+  OffloadLoop loop;
+  loop.label = "env";
+  loop.iterations = 1 << 24;
+  loop.element_size = 4;
+
+  // No clauses: the environment wins over the heuristic.
+  auto desc = rt.lower(loop, TeamsClauses{});
+  EXPECT_EQ(desc.grid, 2048);
+  EXPECT_EQ(desc.threads_per_cta, 256);
+
+  // Clauses beat the environment.
+  TeamsClauses clauses;
+  clauses.num_teams = 64;
+  clauses.thread_limit = 128;
+  desc = rt.lower(loop, clauses);
+  EXPECT_EQ(desc.grid, 64);
+  EXPECT_EQ(desc.threads_per_cta, 128);
+}
+
+TEST(EnvTest, EnvironmentGridStillClampedToIterations) {
+  core::SystemConfig config = core::gh200_config();
+  config.omp.env = Environment::parse({{"OMP_NUM_TEAMS", "1000000"}});
+  core::Platform platform(config);
+  OffloadLoop loop;
+  loop.label = "small";
+  loop.iterations = 100;
+  loop.element_size = 4;
+  EXPECT_EQ(platform.runtime().lower(loop, TeamsClauses{}).grid, 100);
+}
+
+}  // namespace
+}  // namespace ghs::omp

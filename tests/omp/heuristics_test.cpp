@@ -1,0 +1,49 @@
+#include "ghs/omp/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::omp {
+namespace {
+
+TEST(HeuristicsTest, GridIsIterationsOverDefaultThreads) {
+  GridHeuristic h;
+  EXPECT_EQ(heuristic_grid(h, 1'048'576'000), 8'192'000);
+}
+
+TEST(HeuristicsTest, GridRoundsUp) {
+  GridHeuristic h;
+  EXPECT_EQ(heuristic_grid(h, 129), 2);
+  EXPECT_EQ(heuristic_grid(h, 128), 1);
+  EXPECT_EQ(heuristic_grid(h, 1), 1);
+}
+
+TEST(HeuristicsTest, ClampHitsForC2) {
+  GridHeuristic h;
+  // The paper: 4,194,304,000 int8 elements -> grid 16,777,215 (0xFFFFFF).
+  EXPECT_EQ(heuristic_grid(h, 4'194'304'000), 0xFFFFFF);
+}
+
+TEST(HeuristicsTest, CustomDefaults) {
+  GridHeuristic h;
+  h.default_threads = 256;
+  h.grid_clamp = 1000;
+  EXPECT_EQ(heuristic_grid(h, 256'000), 1000);
+  EXPECT_EQ(heuristic_grid(h, 2560), 10);
+}
+
+TEST(HeuristicsTest, RejectsNonPositiveIterations) {
+  GridHeuristic h;
+  EXPECT_THROW(heuristic_grid(h, 0), Error);
+  EXPECT_THROW(heuristic_grid(h, -5), Error);
+}
+
+TEST(HeuristicsTest, OccupancyGrid) {
+  EXPECT_EQ(occupancy_grid(132, 16, 1), 2112);
+  EXPECT_EQ(occupancy_grid(132, 8, 4), 4224);
+  EXPECT_THROW(occupancy_grid(0, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace ghs::omp

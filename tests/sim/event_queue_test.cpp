@@ -1,0 +1,64 @@
+#include "ghs/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.next_time(), Error);
+  EXPECT_THROW(q.pop(), Error);
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.push(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(50, [] {});
+  q.push(5, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+}
+
+TEST(EventQueueTest, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1, [] {}), Error);
+}
+
+TEST(EventQueueTest, SizeTracksPushPop) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ghs::sim

@@ -1,0 +1,89 @@
+#include "ghs/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(100, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(50, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorTest, CannotScheduleIntoThePast) {
+  Simulator sim;
+  sim.schedule_at(10, [&] {
+    EXPECT_THROW(sim.schedule_at(5, [] {}), Error);
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), Error);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(20, [&] { ++count; });
+  EXPECT_FALSE(sim.run_until(15));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 15);
+  EXPECT_TRUE(sim.run_until(100));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsCanCascade) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 9);
+}
+
+}  // namespace
+}  // namespace ghs::sim

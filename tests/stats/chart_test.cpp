@@ -1,0 +1,116 @@
+#include "ghs/stats/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::stats {
+namespace {
+
+Figure simple_figure() {
+  Figure figure("test figure", "x", "y");
+  auto& a = figure.add_series("alpha");
+  a.add(1, 10.0);
+  a.add(2, 20.0);
+  a.add(4, 40.0);
+  auto& b = figure.add_series("beta");
+  b.add(1, 40.0);
+  b.add(2, 20.0);
+  b.add(4, 10.0);
+  return figure;
+}
+
+TEST(ChartTest, RendersTitleLegendAndAxes) {
+  std::ostringstream oss;
+  render_chart(simple_figure(), oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("test figure"), std::string::npos);
+  EXPECT_NE(out.find("legend: o=alpha +=beta"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(ChartTest, PlotsBothSeriesGlyphs) {
+  std::ostringstream oss;
+  render_chart(simple_figure(), oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find('o'), std::string::npos);
+  // 'beta' uses '+', which also appears on the axis; count occurrences.
+  EXPECT_GT(std::count(out.begin(), out.end(), '+'), 1);
+}
+
+TEST(ChartTest, RowAndColumnCountsMatchOptions) {
+  ChartOptions options;
+  options.width = 40;
+  options.height = 8;
+  std::ostringstream oss;
+  render_chart(simple_figure(), oss, options);
+  std::istringstream lines(oss.str());
+  std::string line;
+  int plot_rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.find('|') != std::string::npos) ++plot_rows;
+  }
+  EXPECT_EQ(plot_rows, 8);
+}
+
+TEST(ChartTest, HighestPointOnTopRow) {
+  Figure figure("t", "x", "y");
+  auto& s = figure.add_series("s");
+  s.add(0, 0.0);
+  s.add(1, 100.0);
+  ChartOptions options;
+  options.width = 20;
+  options.height = 5;
+  std::ostringstream oss;
+  render_chart(figure, oss, options);
+  std::istringstream lines(oss.str());
+  std::string line;
+  std::getline(lines, line);  // title
+  std::getline(lines, line);  // top row
+  EXPECT_NE(line.find('o'), std::string::npos) << oss.str();
+}
+
+TEST(ChartTest, LogXRequiresPositiveX) {
+  Figure figure("t", "x", "y");
+  figure.add_series("s").add(0.0, 1.0);
+  ChartOptions options;
+  options.log_x = true;
+  std::ostringstream oss;
+  EXPECT_THROW(render_chart(figure, oss, options), Error);
+}
+
+TEST(ChartTest, EmptyFigureRejected) {
+  Figure figure("t", "x", "y");
+  std::ostringstream oss;
+  EXPECT_THROW(render_chart(figure, oss), Error);
+}
+
+TEST(ChartTest, TinyAreaRejected) {
+  ChartOptions options;
+  options.width = 4;
+  std::ostringstream oss;
+  EXPECT_THROW(render_chart(simple_figure(), oss, options), Error);
+}
+
+TEST(ChartTest, ConstantSeriesDoesNotDivideByZero) {
+  Figure figure("t", "x", "y");
+  auto& s = figure.add_series("s");
+  s.add(1, 5.0);
+  s.add(2, 5.0);
+  std::ostringstream oss;
+  EXPECT_NO_THROW(render_chart(figure, oss));
+}
+
+TEST(ChartTest, SinglePointFigure) {
+  Figure figure("t", "x", "y");
+  figure.add_series("s").add(3, 7.0);
+  std::ostringstream oss;
+  EXPECT_NO_THROW(render_chart(figure, oss));
+  EXPECT_NE(oss.str().find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ghs::stats

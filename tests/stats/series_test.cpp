@@ -1,0 +1,103 @@
+#include "ghs/stats/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::stats {
+namespace {
+
+TEST(SeriesTest, AtFindsExactX) {
+  Series s("v4");
+  s.add(128, 100.0);
+  s.add(256, 200.0);
+  EXPECT_EQ(s.at(128).value(), 100.0);
+  EXPECT_EQ(s.at(256).value(), 200.0);
+  EXPECT_FALSE(s.at(512).has_value());
+}
+
+TEST(SeriesTest, MaxY) {
+  Series s("x");
+  s.add(0, 3.0);
+  s.add(1, 7.0);
+  s.add(2, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_y(), 7.0);
+}
+
+TEST(SeriesTest, MaxYOfEmptyThrows) {
+  Series s("empty");
+  EXPECT_THROW(s.max_y(), Error);
+}
+
+TEST(FigureTest, DuplicateSeriesRejected) {
+  Figure f("t", "x", "y");
+  f.add_series("a");
+  EXPECT_THROW(f.add_series("a"), Error);
+}
+
+TEST(FigureTest, FindSeries) {
+  Figure f("t", "x", "y");
+  f.add_series("a");
+  EXPECT_NE(f.find_series("a"), nullptr);
+  EXPECT_EQ(f.find_series("b"), nullptr);
+}
+
+TEST(FigureTest, RenderMergesXAxis) {
+  Figure f("Fig", "teams", "GB/s");
+  auto& v1 = f.add_series("v1");
+  v1.add(128, 100.0);
+  v1.add(256, 200.0);
+  auto& v2 = f.add_series("v2");
+  v2.add(256, 250.0);
+  std::ostringstream oss;
+  f.render(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Fig"), std::string::npos);
+  EXPECT_NE(out.find("v1"), std::string::npos);
+  EXPECT_NE(out.find("v2"), std::string::npos);
+  // v2 has no point at x=128: rendered as "-".
+  EXPECT_NE(out.find("-"), std::string::npos);
+  EXPECT_NE(out.find("250.000"), std::string::npos);
+}
+
+TEST(FigureTest, CsvHasHeaderAndRows) {
+  Figure f("Fig", "p", "GB/s");
+  auto& c1 = f.add_series("C1");
+  c1.add(0.0, 620.0);
+  c1.add(0.5, 900.0);
+  std::ostringstream oss;
+  f.render_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("p,C1"), std::string::npos) << out;
+  EXPECT_NE(out.find("620.000"), std::string::npos);
+}
+
+TEST(FigureTest, SeriesReferencesStayValidAcrossAdds) {
+  // Regression: references returned by add_series must survive later
+  // add_series calls (storage is reference-stable).
+  Figure f("t", "x", "y");
+  auto& a = f.add_series("a");
+  auto& b = f.add_series("b");
+  auto& c = f.add_series("c");
+  for (int i = 0; i < 100; ++i) {
+    a.add(i, 1.0);
+    b.add(i, 2.0);
+    c.add(i, 3.0);
+  }
+  EXPECT_EQ(a.points().size(), 100u);
+  EXPECT_EQ(f.find_series("a")->at(50).value(), 1.0);
+  EXPECT_EQ(f.find_series("c")->at(50).value(), 3.0);
+}
+
+TEST(FigureTest, IntegerXRenderedWithoutDecimals) {
+  Figure f("Fig", "teams", "GB/s");
+  f.add_series("s").add(65536, 1.0);
+  std::ostringstream oss;
+  f.render_csv(oss);
+  EXPECT_NE(oss.str().find("65536,"), std::string::npos) << oss.str();
+}
+
+}  // namespace
+}  // namespace ghs::stats

@@ -1,0 +1,68 @@
+#include "ghs/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::stats {
+namespace {
+
+TEST(TableTest, RequiresColumns) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableTest, RenderAligns) {
+  Table t({"Case", "GB/s"});
+  t.add_row({"C1", "620"});
+  t.add_row({"C2", "17234"});
+  std::ostringstream oss;
+  t.render(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| Case |"), std::string::npos) << out;
+  EXPECT_NE(out.find("17234"), std::string::npos);
+  // All data lines have equal width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << out;
+  }
+}
+
+TEST(TableTest, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.render_csv(oss);
+  EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"a,b"});
+  t.add_row({"he said \"hi\""});
+  std::ostringstream oss;
+  t.render_csv(oss);
+  EXPECT_EQ(oss.str(), "name\n\"a,b\"\n\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, EmptyTableRendersHeaderOnly) {
+  Table t({"only"});
+  std::ostringstream oss;
+  t.render_csv(oss);
+  EXPECT_EQ(oss.str(), "only\n");
+}
+
+}  // namespace
+}  // namespace ghs::stats

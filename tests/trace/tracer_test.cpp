@@ -1,0 +1,145 @@
+#include "ghs/trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ghs/core/reduce.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::trace {
+namespace {
+
+TEST(TracerTest, RecordsSpansAndInstants) {
+  Tracer tracer;
+  tracer.record(Track::kGpu, "kernel", 100, 200, "grid=16");
+  tracer.mark(Track::kRuntime, "launch", 100);
+  EXPECT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.instants().size(), 1u);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "kernel");
+  EXPECT_EQ(tracer.spans()[0].begin, 100);
+  EXPECT_EQ(tracer.spans()[0].end, 200);
+}
+
+TEST(TracerTest, RejectsBackwardsSpans) {
+  Tracer tracer;
+  EXPECT_THROW(tracer.record(Track::kGpu, "bad", 200, 100), Error);
+  EXPECT_THROW(tracer.record(Track::kGpu, "bad", -1, 100), Error);
+  EXPECT_THROW(tracer.mark(Track::kGpu, "bad", -1), Error);
+}
+
+TEST(TracerTest, ZeroDurationSpanAllowed) {
+  Tracer tracer;
+  EXPECT_NO_THROW(tracer.record(Track::kCpu, "empty", 50, 50));
+}
+
+TEST(TracerTest, ClearEmptiesEverything) {
+  Tracer tracer;
+  tracer.record(Track::kGpu, "a", 0, 1);
+  tracer.mark(Track::kGpu, "b", 0);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, RecordSpanHelperHonoursNull) {
+  EXPECT_NO_THROW(record_span(nullptr, Track::kGpu, "x", 0, 1));
+  Tracer tracer;
+  record_span(&tracer, Track::kGpu, "x", 0, 1);
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(TracerTest, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  tracer.record(Track::kGpu, "kernel", 1000, 3000, "grid=16");
+  tracer.mark(Track::kRuntime, "update", 500);
+  std::ostringstream oss;
+  tracer.write_chrome_json(oss);
+  const std::string json = oss.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("GPU kernels"), std::string::npos);
+  // Balanced braces and brackets (cheap well-formedness check).
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TracerTest, JsonEscapesSpecialCharacters) {
+  Tracer tracer;
+  tracer.record(Track::kGpu, "with \"quote\" and \\slash", 0, 1);
+  std::ostringstream oss;
+  tracer.write_chrome_json(oss);
+  EXPECT_NE(oss.str().find("with \\\"quote\\\" and \\\\slash"),
+            std::string::npos);
+}
+
+TEST(TracerTest, TrackNames) {
+  EXPECT_STREQ(track_name(Track::kGpu), "GPU kernels");
+  EXPECT_STREQ(track_name(Track::kUmMigration), "UM migration");
+}
+
+TEST(TracerTest, PlatformIntegrationRecordsKernelSpans) {
+  core::Platform platform;
+  auto& tracer = platform.enable_tracing();
+  // Idempotent.
+  EXPECT_EQ(&platform.enable_tracing(), &tracer);
+
+  core::GpuBenchmark bench;
+  bench.case_id = workload::CaseId::kC1;
+  bench.tuning = core::ReduceTuning{2048, 256, 4};
+  bench.elements = 1 << 22;
+  bench.iterations = 2;
+  core::run_gpu_benchmark(platform, bench);
+
+  int kernel_spans = 0;
+  int wave_spans = 0;
+  for (const auto& span : tracer.spans()) {
+    if (span.track == Track::kGpu) ++kernel_spans;
+    if (span.track == Track::kGpuWaves) ++wave_spans;
+  }
+  EXPECT_EQ(kernel_spans, 2);
+  EXPECT_GE(wave_spans, 2);
+  // Spans never run backwards and sit within simulated time.
+  for (const auto& span : tracer.spans()) {
+    EXPECT_LE(span.begin, span.end);
+    EXPECT_LE(span.end, platform.sim().now());
+  }
+}
+
+TEST(TracerTest, PlatformIntegrationRecordsCoExecution) {
+  core::Platform platform;
+  auto& tracer = platform.enable_tracing();
+  core::HeteroBenchmark bench;
+  bench.case_id = workload::CaseId::kC1;
+  bench.cpu_parts = {0.5};
+  bench.elements = 1 << 22;
+  bench.iterations = 1;
+  core::run_hetero_benchmark(platform, bench);
+
+  bool saw_cpu = false;
+  bool saw_gpu = false;
+  bool saw_region = false;
+  for (const auto& span : tracer.spans()) {
+    saw_cpu |= span.track == Track::kCpu;
+    saw_gpu |= span.track == Track::kGpu;
+    saw_region |= span.track == Track::kRuntime;
+  }
+  EXPECT_TRUE(saw_cpu);
+  EXPECT_TRUE(saw_gpu);
+  EXPECT_TRUE(saw_region);
+}
+
+}  // namespace
+}  // namespace ghs::trace

@@ -1,0 +1,120 @@
+#include "ghs/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs {
+namespace {
+
+TEST(CliTest, DefaultsAreUsedWithoutArgs) {
+  Cli cli("prog", "test");
+  const auto* name = cli.add_string("name", "hello", "a string");
+  const auto* count = cli.add_int("count", 7, "an int");
+  const auto* ratio = cli.add_double("ratio", 0.5, "a double");
+  const auto* flag = cli.add_flag("verbose", "a flag");
+  const std::array<const char*, 1> argv = {"prog"};
+  cli.parse(1, argv.data());
+  EXPECT_EQ(*name, "hello");
+  EXPECT_EQ(*count, 7);
+  EXPECT_DOUBLE_EQ(*ratio, 0.5);
+  EXPECT_FALSE(*flag);
+}
+
+TEST(CliTest, EqualsSyntax) {
+  Cli cli("prog", "test");
+  const auto* name = cli.add_string("case", "C1", "");
+  const auto* iters = cli.add_int("iters", 200, "");
+  const std::array<const char*, 3> argv = {"prog", "--case=C3",
+                                           "--iters=25"};
+  cli.parse(3, argv.data());
+  EXPECT_EQ(*name, "C3");
+  EXPECT_EQ(*iters, 25);
+}
+
+TEST(CliTest, SpaceSeparatedValue) {
+  Cli cli("prog", "test");
+  const auto* iters = cli.add_int("iters", 1, "");
+  const std::array<const char*, 3> argv = {"prog", "--iters", "42"};
+  cli.parse(3, argv.data());
+  EXPECT_EQ(*iters, 42);
+}
+
+TEST(CliTest, FlagSyntax) {
+  Cli cli("prog", "test");
+  const auto* flag = cli.add_flag("csv", "");
+  const std::array<const char*, 2> argv = {"prog", "--csv"};
+  cli.parse(2, argv.data());
+  EXPECT_TRUE(*flag);
+}
+
+TEST(CliTest, UnknownOptionThrows) {
+  Cli cli("prog", "test");
+  const std::array<const char*, 2> argv = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv.data()), Error);
+}
+
+TEST(CliTest, PositionalArgumentThrows) {
+  Cli cli("prog", "test");
+  const std::array<const char*, 2> argv = {"prog", "bare"};
+  EXPECT_THROW(cli.parse(2, argv.data()), Error);
+}
+
+TEST(CliTest, BadIntegerThrows) {
+  Cli cli("prog", "test");
+  cli.add_int("iters", 1, "");
+  const std::array<const char*, 2> argv = {"prog", "--iters=12x"};
+  EXPECT_THROW(cli.parse(2, argv.data()), Error);
+}
+
+TEST(CliTest, BadDoubleThrows) {
+  Cli cli("prog", "test");
+  cli.add_double("p", 0.0, "");
+  const std::array<const char*, 2> argv = {"prog", "--p=zero"};
+  EXPECT_THROW(cli.parse(2, argv.data()), Error);
+}
+
+TEST(CliTest, FlagWithValueThrows) {
+  Cli cli("prog", "test");
+  cli.add_flag("csv", "");
+  const std::array<const char*, 2> argv = {"prog", "--csv=1"};
+  EXPECT_THROW(cli.parse(2, argv.data()), Error);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  Cli cli("prog", "test");
+  cli.add_int("iters", 1, "");
+  const std::array<const char*, 2> argv = {"prog", "--iters"};
+  EXPECT_THROW(cli.parse(2, argv.data()), Error);
+}
+
+TEST(CliTest, DuplicateOptionRegistrationThrows) {
+  Cli cli("prog", "test");
+  cli.add_int("x", 1, "");
+  EXPECT_THROW(cli.add_string("x", "", ""), Error);
+}
+
+TEST(CliTest, UsageMentionsOptionsAndDefaults) {
+  Cli cli("prog", "my description");
+  cli.add_int("iters", 200, "timing repetitions");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my description"), std::string::npos);
+  EXPECT_NE(usage.find("--iters"), std::string::npos);
+  EXPECT_NE(usage.find("timing repetitions"), std::string::npos);
+  EXPECT_NE(usage.find("200"), std::string::npos);
+}
+
+TEST(CliTest, NegativeNumbersParse) {
+  Cli cli("prog", "test");
+  const auto* x = cli.add_int("x", 0, "");
+  const auto* y = cli.add_double("y", 0.0, "");
+  const std::array<const char*, 3> argv = {"prog", "--x=-5", "--y=-0.25"};
+  cli.parse(3, argv.data());
+  EXPECT_EQ(*x, -5);
+  EXPECT_DOUBLE_EQ(*y, -0.25);
+}
+
+}  // namespace
+}  // namespace ghs

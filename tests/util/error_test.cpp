@@ -1,0 +1,58 @@
+#include "ghs/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghs {
+namespace {
+
+TEST(ErrorTest, RequirePassesWhenConditionHolds) {
+  EXPECT_NO_THROW(GHS_REQUIRE(1 + 1 == 2, "fine"));
+}
+
+TEST(ErrorTest, RequireThrowsGhsError) {
+  EXPECT_THROW(GHS_REQUIRE(false, "boom"), Error);
+}
+
+TEST(ErrorTest, RequireMessageCarriesCondition) {
+  try {
+    GHS_REQUIRE(2 < 1, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+  }
+}
+
+TEST(ErrorTest, CheckTagsInternalInvariant) {
+  try {
+    GHS_CHECK(false, "state " << 7);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("internal invariant"), std::string::npos) << what;
+    EXPECT_NE(what.find("state 7"), std::string::npos) << what;
+  }
+}
+
+TEST(ErrorTest, UnreachableAlwaysThrows) {
+  EXPECT_THROW(GHS_UNREACHABLE("never here"), Error);
+}
+
+TEST(ErrorTest, MessageContainsFileLocation) {
+  try {
+    GHS_REQUIRE(false, "x");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("error_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ErrorIsARuntimeError) {
+  EXPECT_THROW(GHS_REQUIRE(false, ""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ghs

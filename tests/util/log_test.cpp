@@ -1,0 +1,58 @@
+#include "ghs/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LogTest, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, SetAndGet) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, ParseAllLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST_F(LogTest, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_log_level("loud"), Error);
+}
+
+TEST_F(LogTest, MacrosDoNotThrow) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(GHS_DEBUG("debug " << 1));
+  EXPECT_NO_THROW(GHS_INFO("info " << 2));
+  EXPECT_NO_THROW(GHS_WARN("warn " << 3));
+  EXPECT_NO_THROW(GHS_ERROR("error " << 4));
+}
+
+TEST_F(LogTest, SuppressedLevelSkipsStreaming) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  GHS_DEBUG("x " << count());
+  EXPECT_EQ(evaluations, 0) << "message built despite suppressed level";
+}
+
+}  // namespace
+}  // namespace ghs

@@ -1,0 +1,58 @@
+#include "ghs/util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ghs {
+namespace {
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div<std::int64_t>(4'194'304'000, 128), 32'768'000);
+}
+
+TEST(MathTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(65536));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_TRUE(is_pow2(std::int64_t{1} << 62));
+}
+
+TEST(MathTest, RoundUp) {
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(1, 4), 4);
+}
+
+TEST(MathTest, Log2Pow2) {
+  EXPECT_EQ(log2_pow2(1), 0);
+  EXPECT_EQ(log2_pow2(2), 1);
+  EXPECT_EQ(log2_pow2(128), 7);
+  EXPECT_EQ(log2_pow2(65536), 16);
+}
+
+TEST(MathTest, Lerp) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 2.0, 0.3), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 1.0), 10.0);
+}
+
+TEST(MathTest, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_difference(100.0, 101.0), 0.0099, 1e-4);
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(relative_difference(3.0, 4.0),
+                   relative_difference(4.0, 3.0));
+}
+
+}  // namespace
+}  // namespace ghs

@@ -1,0 +1,60 @@
+#include "ghs/workload/cases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::workload {
+namespace {
+
+TEST(CasesTest, FourCases) {
+  EXPECT_EQ(all_cases().size(), 4u);
+}
+
+TEST(CasesTest, C1Spec) {
+  const auto& spec = case_spec(CaseId::kC1);
+  EXPECT_STREQ(spec.name, "C1");
+  EXPECT_EQ(spec.element_size, 4);
+  EXPECT_EQ(spec.paper_elements, 1'048'576'000);
+  EXPECT_EQ(spec.combine, gpu::CombineClass::kNativeInt);
+  EXPECT_FALSE(spec.floating);
+}
+
+TEST(CasesTest, C2SpecWidensToInt64) {
+  const auto& spec = case_spec(CaseId::kC2);
+  EXPECT_STREQ(spec.input_type, "int8");
+  EXPECT_STREQ(spec.result_type, "int64");
+  EXPECT_EQ(spec.element_size, 1);
+  EXPECT_EQ(spec.paper_elements, 4'194'304'000);
+  EXPECT_EQ(spec.combine, gpu::CombineClass::kWideningInt);
+}
+
+TEST(CasesTest, FloatCasesUseCasCombine) {
+  EXPECT_EQ(case_spec(CaseId::kC3).combine, gpu::CombineClass::kFloatCas);
+  EXPECT_EQ(case_spec(CaseId::kC4).combine, gpu::CombineClass::kFloatCas);
+  EXPECT_TRUE(case_spec(CaseId::kC3).floating);
+  EXPECT_TRUE(case_spec(CaseId::kC4).floating);
+}
+
+TEST(CasesTest, AllCasesMoveRoughlyFourOrEightGB) {
+  for (CaseId id : all_cases()) {
+    const auto& spec = case_spec(id);
+    const auto bytes = spec.paper_elements * spec.element_size;
+    EXPECT_TRUE(bytes == 4'194'304'000 || bytes == 8'388'608'000)
+        << spec.name;
+  }
+}
+
+TEST(CasesTest, ParseAcceptsBothCases) {
+  EXPECT_EQ(parse_case("C1"), CaseId::kC1);
+  EXPECT_EQ(parse_case("c3"), CaseId::kC3);
+  EXPECT_EQ(parse_case("C4"), CaseId::kC4);
+}
+
+TEST(CasesTest, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_case("C5"), Error);
+  EXPECT_THROW(parse_case(""), Error);
+}
+
+}  // namespace
+}  // namespace ghs::workload

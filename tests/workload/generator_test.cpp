@@ -1,0 +1,70 @@
+#include "ghs/workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ghs::workload {
+namespace {
+
+TEST(GeneratorTest, OnesPattern) {
+  const auto v = generate<std::int32_t>(Pattern::kOnes, 100, 1);
+  ASSERT_EQ(v.size(), 100u);
+  for (auto x : v) EXPECT_EQ(x, 1);
+}
+
+TEST(GeneratorTest, AlternatingIntsCancel) {
+  const auto v = generate<std::int32_t>(Pattern::kAlternating, 10, 1);
+  std::int64_t sum = 0;
+  for (auto x : v) sum += x;
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(GeneratorTest, AlternatingFloatsUseHalfStep) {
+  const auto v = generate<float>(Pattern::kAlternating, 4, 1);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[1], -0.5f);
+  EXPECT_FLOAT_EQ(v[2], 1.0f);
+}
+
+TEST(GeneratorTest, UniformIntsBounded) {
+  const auto v = generate<std::int8_t>(Pattern::kUniform, 1000, 7);
+  for (auto x : v) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 16);
+  }
+}
+
+TEST(GeneratorTest, UniformFloatsInUnitInterval) {
+  const auto v = generate<double>(Pattern::kUniform, 1000, 7);
+  for (auto x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(GeneratorTest, UniformIsSeedDeterministic) {
+  const auto a = generate<std::int32_t>(Pattern::kUniform, 256, 42);
+  const auto b = generate<std::int32_t>(Pattern::kUniform, 256, 42);
+  const auto c = generate<std::int32_t>(Pattern::kUniform, 256, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(GeneratorTest, RampHasClosedFormSum) {
+  const std::int64_t n = 97 * 3;
+  const auto v = generate<std::int32_t>(Pattern::kRamp, n, 1);
+  std::int64_t sum = 0;
+  for (auto x : v) sum += x;
+  EXPECT_EQ(sum, 3 * (96 * 97 / 2));
+}
+
+TEST(GeneratorTest, PatternNames) {
+  EXPECT_STREQ(pattern_name(Pattern::kOnes), "ones");
+  EXPECT_STREQ(pattern_name(Pattern::kAlternating), "alternating");
+  EXPECT_STREQ(pattern_name(Pattern::kUniform), "uniform");
+  EXPECT_STREQ(pattern_name(Pattern::kRamp), "ramp");
+}
+
+}  // namespace
+}  // namespace ghs::workload

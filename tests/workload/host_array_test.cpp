@@ -1,0 +1,126 @@
+#include "ghs/workload/host_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::workload {
+namespace {
+
+TEST(HostArrayTest, SerialSumOfOnes) {
+  const auto a = HostArray::make(CaseId::kC1, 1000, Pattern::kOnes, 1);
+  EXPECT_EQ(a.serial_sum().i, 1000);
+  EXPECT_FALSE(a.serial_sum().floating);
+}
+
+TEST(HostArrayTest, Int8WidensWithoutOverflow) {
+  // 10 M ones as int8 sum far past int8 (and int32 would hold, but int64
+  // is the declared R).
+  const auto a = HostArray::make(CaseId::kC2, 10'000'000, Pattern::kOnes, 1);
+  EXPECT_EQ(a.serial_sum().i, 10'000'000);
+}
+
+TEST(HostArrayTest, C1WrapsAtInt32) {
+  // 2^31 ones in int32 wraps to INT32_MIN. Too many elements to
+  // materialise; emulate with chunk combine semantics instead.
+  const auto wrapped = HostArray::combine(
+      CaseId::kC1, SumValue::of_int(0x7FFFFFFF), SumValue::of_int(1));
+  EXPECT_EQ(wrapped.i, std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(HostArrayTest, CombineC2IsPlainInt64) {
+  const auto s = HostArray::combine(CaseId::kC2, SumValue::of_int(1LL << 40),
+                                    SumValue::of_int(5));
+  EXPECT_EQ(s.i, (1LL << 40) + 5);
+}
+
+TEST(HostArrayTest, CombineC3RoundsToFloat) {
+  // 2^24 + 1 is not representable in float32.
+  const auto s = HostArray::combine(CaseId::kC3,
+                                    SumValue::of_float(16777216.0),
+                                    SumValue::of_float(1.0));
+  EXPECT_DOUBLE_EQ(s.d, 16777216.0);
+}
+
+TEST(HostArrayTest, CombineC4KeepsDoublePrecision) {
+  const auto s = HostArray::combine(CaseId::kC4,
+                                    SumValue::of_float(16777216.0),
+                                    SumValue::of_float(1.0));
+  EXPECT_DOUBLE_EQ(s.d, 16777217.0);
+}
+
+TEST(HostArrayTest, ChunkedSumEqualsSerialForInts) {
+  const auto a =
+      HostArray::make(CaseId::kC1, 100'000, Pattern::kUniform, 3);
+  const auto serial = a.serial_sum();
+  for (std::int64_t chunks : {1, 2, 7, 64, 1000}) {
+    EXPECT_EQ(a.chunked_sum(chunks).i, serial.i) << chunks;
+  }
+}
+
+TEST(HostArrayTest, ChunkedSumEqualsSerialForInt8) {
+  const auto a =
+      HostArray::make(CaseId::kC2, 100'000, Pattern::kUniform, 3);
+  EXPECT_EQ(a.chunked_sum(128).i, a.serial_sum().i);
+}
+
+TEST(HostArrayTest, ChunkedFloatSumIsCloseButMayDiffer) {
+  const auto a =
+      HostArray::make(CaseId::kC3, 1'000'000, Pattern::kUniform, 5);
+  const auto serial = a.serial_sum();
+  const auto chunked = a.chunked_sum(4096);
+  // Reassociation changes the result slightly; both near n/2.
+  EXPECT_NEAR(chunked.d / serial.d, 1.0, 1e-3);
+  // The chunked sum is usually *more* accurate vs the exact value.
+  EXPECT_NEAR(chunked.d, 500'000.0, 1000.0);
+}
+
+TEST(HostArrayTest, DoubleChunkedSumTight) {
+  const auto a =
+      HostArray::make(CaseId::kC4, 1'000'000, Pattern::kUniform, 5);
+  EXPECT_NEAR(a.chunked_sum(1000).d / a.serial_sum().d, 1.0, 1e-12);
+}
+
+TEST(HostArrayTest, RangeSumPartitionsExactly) {
+  const auto a =
+      HostArray::make(CaseId::kC1, 10'000, Pattern::kUniform, 9);
+  const auto whole = a.serial_sum();
+  const auto left = a.range_sum(0, 5'000);
+  const auto right = a.range_sum(5'000, 10'000);
+  EXPECT_EQ(HostArray::combine(CaseId::kC1, left, right).i, whole.i);
+}
+
+TEST(HostArrayTest, RangeValidation) {
+  const auto a = HostArray::make(CaseId::kC1, 100, Pattern::kOnes, 1);
+  EXPECT_THROW(a.range_sum(-1, 10), Error);
+  EXPECT_THROW(a.range_sum(50, 10), Error);
+  EXPECT_THROW(a.range_sum(0, 101), Error);
+  EXPECT_THROW(a.chunked_sum(0), Error);
+}
+
+TEST(HostArrayTest, SumValueMatches) {
+  EXPECT_TRUE(SumValue::of_int(5).matches(SumValue::of_int(5), 0.0));
+  EXPECT_FALSE(SumValue::of_int(5).matches(SumValue::of_int(6), 0.0));
+  EXPECT_TRUE(SumValue::of_float(100.0).matches(SumValue::of_float(100.01),
+                                                1e-3));
+  EXPECT_FALSE(SumValue::of_float(100.0).matches(SumValue::of_float(101.0),
+                                                 1e-4));
+  EXPECT_FALSE(SumValue::of_int(5).matches(SumValue::of_float(5.0), 1.0));
+}
+
+TEST(HostArrayTest, BytesAccounting) {
+  const auto a = HostArray::make(CaseId::kC4, 1000, Pattern::kOnes, 1);
+  EXPECT_EQ(a.bytes(), 8000);
+  EXPECT_EQ(a.elements(), 1000);
+}
+
+TEST(HostArrayTest, ToString) {
+  EXPECT_EQ(SumValue::of_int(42).to_string(), "42");
+  EXPECT_NE(SumValue::of_float(1.5).to_string().find("1.5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ghs::workload
