@@ -1,0 +1,173 @@
+// Load generator for the ghs::serve request-serving layer.
+//
+// Synthesises a mixed C1-C4 workload (open-loop Poisson arrivals by
+// default, closed-loop with --closed), serves it under one or more
+// scheduler policies, and emits a JSON throughput/latency report:
+//
+//   $ ./bench/serve_loadgen                         # fifo vs sjf vs bandwidth
+//   $ ./bench/serve_loadgen --policy=bandwidth --rate=200000 --jobs=500
+//   $ ./bench/serve_loadgen --trace=serve.json      # Chrome-trace timeline
+//
+// The report is one JSON object: "workload" echoes the generator settings,
+// "policies" holds one serve report per policy (p50/p95/p99 latency and
+// queue wait, rejected count, batching and placement counters), and
+// "comparison" contrasts bandwidth-aware against FIFO when both ran.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "ghs/serve/loadgen.hpp"
+#include "ghs/serve/policy.hpp"
+#include "ghs/serve/service.hpp"
+#include "ghs/util/cli.hpp"
+#include "ghs/util/error.hpp"
+
+namespace {
+
+using namespace ghs;
+
+struct RunSettings {
+  bool closed = false;
+  serve::OpenLoopOptions open;
+  serve::ClosedLoopOptions closed_opts;
+  serve::ServiceOptions service;
+  std::string trace_path;
+};
+
+serve::ServiceReport run_policy(const std::string& name,
+                                serve::ServiceModel& model,
+                                const RunSettings& settings) {
+  trace::Tracer tracer;
+  const bool tracing = !settings.trace_path.empty();
+  serve::ReductionService service(serve::make_policy(name, model), model,
+                                  settings.service,
+                                  tracing ? &tracer : nullptr);
+  if (settings.closed) {
+    serve::run_closed_loop(service, settings.closed_opts);
+  } else {
+    service.submit_all(serve::open_loop_poisson(settings.open));
+    service.run();
+  }
+  if (tracing) {
+    // Last policy run wins the file; with --policy=all that is the
+    // bandwidth-aware timeline.
+    std::ofstream out(settings.trace_path);
+    GHS_REQUIRE(out.good(), "cannot write " << settings.trace_path);
+    tracer.write_chrome_json(out);
+  }
+  return service.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("serve_loadgen",
+          "open/closed-loop load generator for the reduction service");
+  const auto* policy =
+      cli.add_string("policy", "all", "all|fifo|sjf|bandwidth");
+  const auto* rate =
+      cli.add_double("rate", 100000.0, "open-loop arrival rate, jobs/s");
+  const auto* jobs = cli.add_int("jobs", 200, "total jobs to submit");
+  const auto* depth = cli.add_int("depth", 64, "admission queue depth");
+  const auto* seed = cli.add_int("seed", 42, "workload RNG seed");
+  const auto* min_log2 =
+      cli.add_int("min-log2", 16, "smallest job, log2(elements)");
+  const auto* max_log2 =
+      cli.add_int("max-log2", 21, "largest job, log2(elements)");
+  const auto* deadline_us =
+      cli.add_int("deadline-us", 0, "relative deadline (0 = best effort)");
+  const auto* closed = cli.add_flag("closed", "closed loop instead of open");
+  const auto* tenants = cli.add_int("tenants", 8, "closed-loop tenants");
+  const auto* think_us =
+      cli.add_int("think-us", 0, "closed-loop think time between jobs");
+  const auto* no_batch = cli.add_flag("no-batch", "disable launch batching");
+  const auto* no_cpu =
+      cli.add_flag("no-cpu", "GPU-only device pool (no Grace CPU)");
+  const auto* trace_path =
+      cli.add_string("trace", "", "write a Chrome-trace JSON timeline here");
+  cli.parse(argc, argv);
+
+  RunSettings settings;
+  settings.closed = *closed;
+  settings.trace_path = *trace_path;
+
+  serve::WorkloadShape shape;
+  shape.min_log2_elements = static_cast<int>(*min_log2);
+  shape.max_log2_elements = static_cast<int>(*max_log2);
+  shape.deadline = *deadline_us * kMicrosecond;
+
+  settings.open.shape = shape;
+  settings.open.rate_hz = *rate;
+  settings.open.jobs = *jobs;
+  settings.open.seed = static_cast<std::uint64_t>(*seed);
+
+  settings.closed_opts.shape = shape;
+  settings.closed_opts.tenants = static_cast<int>(*tenants);
+  settings.closed_opts.jobs = *jobs;
+  settings.closed_opts.think_time = *think_us * kMicrosecond;
+  settings.closed_opts.seed = static_cast<std::uint64_t>(*seed);
+
+  settings.service.queue_depth = static_cast<std::size_t>(*depth);
+  settings.service.batching.enable = !*no_batch;
+  settings.service.use_cpu = !*no_cpu;
+
+  std::vector<std::string> policies;
+  if (*policy == "all") {
+    policies = {"fifo", "sjf", "bandwidth"};
+  } else {
+    policies = {*policy};
+  }
+
+  serve::ServiceModel model;
+
+  std::ostringstream out;
+  out << "{\"workload\":{\"mode\":\""
+      << (settings.closed ? "closed" : "open") << "\"";
+  if (settings.closed) {
+    out << ",\"tenants\":" << settings.closed_opts.tenants
+        << ",\"think_us\":" << *think_us;
+  } else {
+    out << ",\"rate_hz\":" << *rate;
+  }
+  out << ",\"jobs\":" << *jobs << ",\"seed\":" << *seed
+      << ",\"min_log2_elements\":" << *min_log2
+      << ",\"max_log2_elements\":" << *max_log2
+      << ",\"deadline_us\":" << *deadline_us << ",\"queue_depth\":" << *depth
+      << ",\"batching\":" << (settings.service.batching.enable ? "true"
+                                                               : "false")
+      << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false")
+      << "},\"policies\":[";
+
+  serve::ServiceReport fifo_report;
+  serve::ServiceReport bandwidth_report;
+  bool have_fifo = false;
+  bool have_bandwidth = false;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto report = run_policy(policies[i], model, settings);
+    if (i > 0) out << ",";
+    report.write_json(out);
+    if (policies[i] == "fifo") {
+      fifo_report = report;
+      have_fifo = true;
+    } else if (policies[i] == "bandwidth") {
+      bandwidth_report = report;
+      have_bandwidth = true;
+    }
+  }
+  out << "]";
+  if (have_fifo && have_bandwidth &&
+      fifo_report.throughput_gbps > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  bandwidth_report.throughput_gbps /
+                      fifo_report.throughput_gbps);
+    out << ",\"comparison\":{\"fifo_gbps\":" << fifo_report.throughput_gbps
+        << ",\"bandwidth_gbps\":" << bandwidth_report.throughput_gbps
+        << ",\"bandwidth_over_fifo\":" << buf << "}";
+  }
+  out << "}";
+  std::cout << out.str() << "\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full local gate: build the Release and the ASan+UBSan configurations and
+# run the test suite under both. Run from the repository root:
+#
+#   $ scripts/check.sh            # both configs
+#   $ scripts/check.sh release    # just the plain build
+#   $ scripts/check.sh asan       # just the sanitized build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+configs=("${1:-release}")
+if [[ $# -eq 0 ]]; then
+  configs=(release asan)
+fi
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    release)
+      dir=build
+      flags=(-DCMAKE_BUILD_TYPE=Release -DGHS_SANITIZE=OFF)
+      ;;
+    asan)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      ;;
+    *)
+      echo "unknown config '$config' (release|asan)" >&2
+      exit 2
+      ;;
+  esac
+  echo "==> configure $config"
+  cmake -B "$dir" -S . "${flags[@]}"
+  echo "==> build $config"
+  cmake --build "$dir" -j "$jobs"
+  echo "==> test $config"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+done
+echo "==> all green"

@@ -1,0 +1,89 @@
+#include "ghs/serve/device_pool.hpp"
+
+#include <string>
+#include <utility>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::serve {
+
+DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
+                       trace::Tracer* tracer)
+    : sim_(sim), model_(model), use_cpu_(use_cpu), tracer_(tracer) {}
+
+bool DevicePool::idle(Placement device) const {
+  if (device == Placement::kGpu) return !gpu_busy_;
+  return use_cpu_ && !cpu_busy_;
+}
+
+void DevicePool::launch(Placement device, std::vector<Job> jobs,
+                        const core::ReduceTuning& tuning,
+                        Completion on_complete) {
+  GHS_REQUIRE(!jobs.empty(), "empty launch");
+  GHS_REQUIRE(idle(device), "launch on busy " << placement_name(device));
+
+  const auto case_id = jobs.front().case_id;
+  std::int64_t total_elements = 0;
+  for (const auto& job : jobs) {
+    GHS_REQUIRE(job.case_id == case_id, "mixed-case launch");
+    total_elements += job.elements;
+  }
+
+  const SimTime service =
+      device == Placement::kGpu
+          ? model_.gpu_service(case_id, total_elements, tuning)
+          : model_.cpu_service(case_id, total_elements);
+  const SimTime begin = sim_.now();
+  const SimTime end = begin + service;
+
+  const std::int64_t launch_id = next_launch_id_++;
+  ++stats_.launches;
+  if (jobs.size() > 1) {
+    ++stats_.multi_job_launches;
+    stats_.batched_jobs += static_cast<std::int64_t>(jobs.size());
+  }
+  if (device == Placement::kGpu) {
+    gpu_busy_ = true;
+    stats_.gpu_jobs += static_cast<std::int64_t>(jobs.size());
+    stats_.gpu_busy += service;
+  } else {
+    cpu_busy_ = true;
+    stats_.cpu_jobs += static_cast<std::int64_t>(jobs.size());
+    stats_.cpu_busy += service;
+  }
+
+  if (tracer_ != nullptr) {
+    const auto& spec = workload::case_spec(case_id);
+    tracer_->record(trace::Track::kServer,
+                    std::string(spec.name) + " x" +
+                        std::to_string(jobs.size()) + " @" +
+                        placement_name(device),
+                    begin, end,
+                    std::to_string(total_elements) + " elements, launch " +
+                        std::to_string(launch_id));
+  }
+
+  std::vector<JobRecord> records;
+  records.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    JobRecord record;
+    record.job = job;
+    record.placement = device;
+    record.launch_id = launch_id;
+    record.start = begin;
+    record.completion = end;
+    records.push_back(record);
+  }
+
+  sim_.schedule_at(end, [this, device, records = std::move(records),
+                         on_complete = std::move(on_complete)]() {
+    if (device == Placement::kGpu) {
+      gpu_busy_ = false;
+    } else {
+      cpu_busy_ = false;
+    }
+    on_complete(device, records);
+  });
+}
+
+}  // namespace ghs::serve

@@ -1,0 +1,75 @@
+// DevicePool: time-shares the simulated H100 and the Grace CPU across
+// admitted jobs. A launch is one kernel (or one host parallel region)
+// serving one job or a batch of small same-case jobs — batching amortises
+// the per-launch runtime overhead exactly the way fusing tiny reductions
+// does on the real machine. Every launch is recorded as a Track::kServer
+// span so a served workload renders in the Chrome-trace timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ghs/core/reduce.hpp"
+#include "ghs/serve/job.hpp"
+#include "ghs/serve/service_model.hpp"
+#include "ghs/sim/simulator.hpp"
+#include "ghs/trace/tracer.hpp"
+
+namespace ghs::serve {
+
+struct BatchOptions {
+  bool enable = true;
+  /// Jobs per launch, including the one the policy selected.
+  int max_jobs = 8;
+  /// Only jobs at or below this element count coalesce.
+  std::int64_t small_elements = 1 << 20;
+  /// Ceiling on a batch's summed element count.
+  std::int64_t max_batch_elements = 1 << 23;
+};
+
+struct DevicePoolStats {
+  std::int64_t launches = 0;
+  /// Launches that carried more than one job.
+  std::int64_t multi_job_launches = 0;
+  /// Jobs that rode a multi-job launch.
+  std::int64_t batched_jobs = 0;
+  std::int64_t gpu_jobs = 0;
+  std::int64_t cpu_jobs = 0;
+  SimTime gpu_busy = 0;
+  SimTime cpu_busy = 0;
+};
+
+class DevicePool {
+ public:
+  /// With `use_cpu` false the pool is GPU-only (the CPU never reports
+  /// idle), which lets single-device policies run on a matching machine.
+  DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
+             trace::Tracer* tracer);
+
+  bool idle(Placement device) const;
+  bool use_cpu() const { return use_cpu_; }
+
+  using Completion =
+      std::function<void(Placement, const std::vector<JobRecord>&)>;
+
+  /// Launches `jobs` as one unit on `device` starting at sim.now();
+  /// `tuning` is the GPU geometry (ignored for CPU launches). Fires
+  /// `on_complete` with the finished records when service ends.
+  void launch(Placement device, std::vector<Job> jobs,
+              const core::ReduceTuning& tuning, Completion on_complete);
+
+  const DevicePoolStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  ServiceModel& model_;
+  bool use_cpu_;
+  trace::Tracer* tracer_;
+  bool gpu_busy_ = false;
+  bool cpu_busy_ = false;
+  std::int64_t next_launch_id_ = 0;
+  DevicePoolStats stats_;
+};
+
+}  // namespace ghs::serve

@@ -1,0 +1,53 @@
+// Request types of the reduction service: a Job is one tenant asking for
+// one sum reduction (case, element count, optional deadline); a JobRecord
+// is the accounting the service keeps once the job has been admitted,
+// placed, and served. Everything is in simulated time, so a served workload
+// is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "ghs/util/units.hpp"
+#include "ghs/workload/cases.hpp"
+
+namespace ghs::serve {
+
+using JobId = std::int64_t;
+
+/// Processor a job was placed on by the scheduler.
+enum class Placement : std::uint8_t { kGpu, kCpu };
+
+const char* placement_name(Placement placement);
+
+struct Job {
+  JobId id = 0;
+  workload::CaseId case_id = workload::CaseId::kC1;
+  std::int64_t elements = 0;
+  /// Absolute simulated arrival time.
+  SimTime arrival = 0;
+  /// Absolute completion deadline; 0 = best-effort (no deadline).
+  SimTime deadline = 0;
+
+  Bytes bytes() const {
+    return elements * workload::case_spec(case_id).element_size;
+  }
+};
+
+/// Accounting for one served job. `launch_id` groups jobs that were batched
+/// into the same device launch; all jobs of a launch share start/completion.
+struct JobRecord {
+  Job job;
+  Placement placement = Placement::kGpu;
+  std::int64_t launch_id = -1;
+  SimTime start = 0;
+  SimTime completion = 0;
+
+  SimTime queue_wait() const { return start - job.arrival; }
+  SimTime service() const { return completion - start; }
+  SimTime latency() const { return completion - job.arrival; }
+  bool deadline_missed() const {
+    return job.deadline > 0 && completion > job.deadline;
+  }
+};
+
+}  // namespace ghs::serve

@@ -1,0 +1,66 @@
+// Workload synthesis for the serving layer.
+//
+// Open loop: Poisson arrivals at a fixed mean rate — tenants do not wait
+// for each other, so the service sheds load through the admission queue
+// when oversubscribed. Closed loop: a fixed number of tenants each keep
+// one job in flight (submit, wait, think, submit), so offered load tracks
+// service capacity. Both draw from the deterministic xoshiro RNG: one seed
+// is one workload, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ghs/serve/job.hpp"
+#include "ghs/serve/service.hpp"
+
+namespace ghs::serve {
+
+/// Weighted case mix; weights need not sum to 1.
+struct MixEntry {
+  workload::CaseId case_id = workload::CaseId::kC1;
+  double weight = 1.0;
+};
+
+/// The mixed C1-C4 workload (equal weights).
+std::vector<MixEntry> mixed_cases();
+
+struct WorkloadShape {
+  std::vector<MixEntry> mix = mixed_cases();
+  /// Element counts are 2^k with k uniform in [min_log2, max_log2]; the
+  /// power-of-two grid mirrors size-bucketed production traffic and keeps
+  /// the service-model shape cache effective.
+  int min_log2_elements = 16;
+  int max_log2_elements = 21;
+  /// Relative deadline added to each arrival; 0 = best-effort.
+  SimTime deadline = 0;
+};
+
+struct OpenLoopOptions {
+  WorkloadShape shape;
+  /// Mean arrival rate, jobs per simulated second.
+  double rate_hz = 100000.0;
+  std::int64_t jobs = 200;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the full arrival schedule (exponential inter-arrival gaps).
+std::vector<Job> open_loop_poisson(const OpenLoopOptions& options);
+
+struct ClosedLoopOptions {
+  WorkloadShape shape;
+  /// Concurrent tenants, each with one job in flight.
+  int tenants = 8;
+  /// Total jobs across all tenants.
+  std::int64_t jobs = 200;
+  /// Pause between a tenant's completion and its next submission.
+  SimTime think_time = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Drives `service` closed-loop to completion (installs the service's
+/// on_complete hook, submits, runs, and restores the hook).
+void run_closed_loop(ReductionService& service,
+                     const ClosedLoopOptions& options);
+
+}  // namespace ghs::serve

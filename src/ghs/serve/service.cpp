@@ -1,0 +1,224 @@
+#include "ghs/serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::serve {
+
+namespace {
+
+double to_ms(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+// Fixed-notation double with enough digits to round-trip latencies; JSON
+// output must be byte-stable across runs, so formatting goes through one
+// snprintf shape only.
+void write_double(std::ostream& os, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  os << buf;
+}
+
+void write_latency(std::ostream& os, const char* key,
+                   const LatencyStats& stats) {
+  os << "\"" << key << "\":{\"count\":" << stats.count << ",\"mean_ms\":";
+  write_double(os, stats.mean_ms);
+  os << ",\"p50_ms\":";
+  write_double(os, stats.pct.p50);
+  os << ",\"p95_ms\":";
+  write_double(os, stats.pct.p95);
+  os << ",\"p99_ms\":";
+  write_double(os, stats.pct.p99);
+  os << ",\"max_ms\":";
+  write_double(os, stats.max_ms);
+  os << "}";
+}
+
+}  // namespace
+
+LatencyStats make_latency_stats(const std::vector<double>& ms) {
+  LatencyStats stats;
+  stats.count = ms.size();
+  if (ms.empty()) return stats;
+  stats.mean_ms = stats::arithmetic_mean(ms);
+  stats.max_ms = *std::max_element(ms.begin(), ms.end());
+  stats.pct = stats::percentiles(ms);
+  return stats;
+}
+
+void ServiceReport::write_json(std::ostream& os) const {
+  os << "{\"policy\":\"" << policy << "\",\"submitted\":" << submitted
+     << ",\"served\":" << served << ",\"rejected\":" << rejected
+     << ",\"deadline_missed\":" << deadline_missed
+     << ",\"launches\":" << launches
+     << ",\"multi_job_launches\":" << multi_job_launches
+     << ",\"batched_jobs\":" << batched_jobs << ",\"gpu_jobs\":" << gpu_jobs
+     << ",\"cpu_jobs\":" << cpu_jobs
+     << ",\"queue_high_watermark\":" << queue_high_watermark
+     << ",\"makespan_ms\":";
+  write_double(os, to_ms(makespan));
+  os << ",\"bytes_served\":" << bytes_served
+     << ",\"throughput_jobs_per_s\":";
+  write_double(os, throughput_jobs_per_s);
+  os << ",\"throughput_gbps\":";
+  write_double(os, throughput_gbps);
+  os << ",";
+  write_latency(os, "latency", latency);
+  os << ",";
+  write_latency(os, "queue_wait", queue_wait);
+  os << ",\"tuner_hits\":" << tuner_hits
+     << ",\"tuner_misses\":" << tuner_misses << "}";
+}
+
+ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
+                                   ServiceModel& model,
+                                   ServiceOptions options,
+                                   trace::Tracer* tracer)
+    : policy_(std::move(policy)),
+      model_(model),
+      options_(options),
+      tracer_(tracer),
+      queue_(options.queue_depth),
+      pool_(sim_, model, options.use_cpu, tracer) {
+  GHS_REQUIRE(policy_ != nullptr, "null policy");
+}
+
+void ReductionService::submit(const Job& job) {
+  GHS_REQUIRE(job.arrival >= sim_.now(),
+              "job " << job.id << " arrives in the past");
+  sim_.schedule_at(job.arrival, [this, job]() { on_arrival(job); });
+}
+
+void ReductionService::submit_all(const std::vector<Job>& jobs) {
+  for (const auto& job : jobs) submit(job);
+}
+
+void ReductionService::set_on_complete(
+    std::function<void(const JobRecord&)> hook) {
+  on_complete_ = std::move(hook);
+}
+
+void ReductionService::run() { sim_.run(); }
+
+void ReductionService::on_arrival(const Job& job) {
+  ++submitted_;
+  if (!queue_.push(job)) {
+    rejected_.push_back(job);
+    if (tracer_ != nullptr) {
+      tracer_->mark(trace::Track::kServer,
+                    std::string("reject ") +
+                        workload::case_spec(job.case_id).name,
+                    sim_.now());
+    }
+    return;
+  }
+  dispatch_all();
+}
+
+void ReductionService::dispatch_all() {
+  dispatch(Placement::kGpu);
+  if (pool_.use_cpu()) dispatch(Placement::kCpu);
+}
+
+void ReductionService::dispatch(Placement device) {
+  while (pool_.idle(device) && !queue_.empty()) {
+    const auto selected = policy_->select(queue_, device, sim_.now());
+    if (!selected) return;
+    std::vector<Job> batch;
+    batch.push_back(queue_.take(*selected));
+    const auto& opts = options_.batching;
+    if (opts.enable && batch.front().elements <= opts.small_elements) {
+      // Coalesce queued small same-case jobs (arrival order) into the
+      // launch until a job/element ceiling is hit.
+      std::int64_t total = batch.front().elements;
+      std::size_t i = 0;
+      while (i < queue_.size() &&
+             batch.size() < static_cast<std::size_t>(opts.max_jobs)) {
+        const Job& candidate = queue_.at(i);
+        if (candidate.case_id == batch.front().case_id &&
+            candidate.elements <= opts.small_elements &&
+            total + candidate.elements <= opts.max_batch_elements) {
+          total += candidate.elements;
+          batch.push_back(queue_.take(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    const core::ReduceTuning tuning = device == Placement::kGpu
+                                          ? policy_->geometry(batch.front())
+                                          : core::ReduceTuning{};
+    pool_.launch(device, std::move(batch), tuning,
+                 [this](Placement completed_on,
+                        const std::vector<JobRecord>& records) {
+                   for (const auto& record : records) {
+                     records_.push_back(record);
+                     if (on_complete_) on_complete_(record);
+                   }
+                   (void)completed_on;
+                   dispatch_all();
+                 });
+  }
+}
+
+ServiceReport ReductionService::report() const {
+  ServiceReport report;
+  report.policy = policy_->name();
+  report.submitted = submitted_;
+  report.served = static_cast<std::int64_t>(records_.size());
+  report.rejected = static_cast<std::int64_t>(rejected_.size());
+  const auto& pool_stats = pool_.stats();
+  report.launches = pool_stats.launches;
+  report.multi_job_launches = pool_stats.multi_job_launches;
+  report.batched_jobs = pool_stats.batched_jobs;
+  report.gpu_jobs = pool_stats.gpu_jobs;
+  report.cpu_jobs = pool_stats.cpu_jobs;
+  report.queue_high_watermark = queue_.high_watermark();
+
+  if (records_.empty()) return report;
+
+  SimTime first_arrival = records_.front().job.arrival;
+  SimTime last_completion = 0;
+  std::vector<double> latency_ms;
+  std::vector<double> wait_ms;
+  latency_ms.reserve(records_.size());
+  wait_ms.reserve(records_.size());
+  for (const auto& record : records_) {
+    first_arrival = std::min(first_arrival, record.job.arrival);
+    last_completion = std::max(last_completion, record.completion);
+    latency_ms.push_back(to_ms(record.latency()));
+    wait_ms.push_back(to_ms(record.queue_wait()));
+    report.bytes_served += record.job.bytes();
+    if (record.deadline_missed()) ++report.deadline_missed;
+  }
+  report.makespan = last_completion - first_arrival;
+  if (report.makespan > 0) {
+    const double seconds = to_seconds(report.makespan);
+    report.throughput_jobs_per_s =
+        static_cast<double>(report.served) / seconds;
+    report.throughput_gbps =
+        static_cast<double>(report.bytes_served) / 1e9 / seconds;
+  }
+  report.latency = make_latency_stats(latency_ms);
+  report.queue_wait = make_latency_stats(wait_ms);
+
+  if (const auto* bandwidth =
+          dynamic_cast<const BandwidthAwarePolicy*>(policy_.get())) {
+    report.tuner_hits = bandwidth->tuner_cache().hits;
+    report.tuner_misses = bandwidth->tuner_cache().misses;
+  }
+  return report;
+}
+
+stats::Series ReductionService::latency_series() const {
+  stats::Series series(std::string("latency-") + policy_->name());
+  for (const auto& record : records_) {
+    series.add(to_ms(record.job.arrival), to_ms(record.latency()));
+  }
+  return series;
+}
+
+}  // namespace ghs::serve

@@ -1,0 +1,124 @@
+// ReductionService: the multi-tenant serving loop. Tenants submit jobs
+// (arrivals are simulator events); the admission queue applies
+// backpressure; the scheduler policy places work on the DevicePool; every
+// completion is recorded and fed to the latency report. One service run is
+// one deterministic discrete-event simulation — same submissions, same
+// seed, same report, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ghs/serve/device_pool.hpp"
+#include "ghs/serve/job.hpp"
+#include "ghs/serve/policy.hpp"
+#include "ghs/serve/queue.hpp"
+#include "ghs/serve/service_model.hpp"
+#include "ghs/sim/simulator.hpp"
+#include "ghs/stats/series.hpp"
+#include "ghs/stats/summary.hpp"
+#include "ghs/trace/tracer.hpp"
+
+namespace ghs::serve {
+
+struct ServiceOptions {
+  /// Admission-queue bound; arrivals beyond it are rejected.
+  std::size_t queue_depth = 64;
+  /// Whether the pool includes the Grace CPU (policies that never place
+  /// there are unaffected).
+  bool use_cpu = true;
+  BatchOptions batching;
+};
+
+/// Latency-style distribution in milliseconds.
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  stats::Percentiles pct;  // p50/p95/p99
+};
+
+LatencyStats make_latency_stats(const std::vector<double>& ms);
+
+struct ServiceReport {
+  std::string policy;
+  std::int64_t submitted = 0;
+  std::int64_t served = 0;
+  std::int64_t rejected = 0;
+  std::int64_t deadline_missed = 0;
+  std::int64_t launches = 0;
+  std::int64_t multi_job_launches = 0;
+  std::int64_t batched_jobs = 0;
+  std::int64_t gpu_jobs = 0;
+  std::int64_t cpu_jobs = 0;
+  std::size_t queue_high_watermark = 0;
+  /// First arrival to last completion.
+  SimTime makespan = 0;
+  Bytes bytes_served = 0;
+  double throughput_jobs_per_s = 0.0;
+  double throughput_gbps = 0.0;
+  LatencyStats latency;
+  LatencyStats queue_wait;
+  /// Geometry-cache counters (bandwidth-aware policy; zero otherwise).
+  std::int64_t tuner_hits = 0;
+  std::int64_t tuner_misses = 0;
+
+  /// One JSON object, stable key order, deterministic formatting.
+  void write_json(std::ostream& os) const;
+};
+
+class ReductionService {
+ public:
+  ReductionService(std::unique_ptr<SchedulerPolicy> policy,
+                   ServiceModel& model, ServiceOptions options = {},
+                   trace::Tracer* tracer = nullptr);
+
+  sim::Simulator& sim() { return sim_; }
+
+  /// Schedules the job's arrival (job.arrival must be >= sim().now()).
+  void submit(const Job& job);
+  void submit_all(const std::vector<Job>& jobs);
+
+  /// Fires once per job at its completion (closed-loop generators submit
+  /// the tenant's next job from here).
+  void set_on_complete(std::function<void(const JobRecord&)> hook);
+
+  /// Drains the event queue: runs arrivals, scheduling, and service to
+  /// completion.
+  void run();
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  const std::vector<Job>& rejected_jobs() const { return rejected_; }
+  const AdmissionQueue& queue() const { return queue_; }
+  const DevicePool& pool() const { return pool_; }
+  SchedulerPolicy& policy() { return *policy_; }
+
+  ServiceReport report() const;
+
+  /// Per-job latency series (x = arrival ms, y = latency ms), ready for a
+  /// stats::Figure.
+  stats::Series latency_series() const;
+
+ private:
+  void on_arrival(const Job& job);
+  void dispatch_all();
+  void dispatch(Placement device);
+
+  std::unique_ptr<SchedulerPolicy> policy_;
+  ServiceModel& model_;
+  ServiceOptions options_;
+  trace::Tracer* tracer_;
+  sim::Simulator sim_;
+  AdmissionQueue queue_;
+  DevicePool pool_;
+  std::vector<JobRecord> records_;
+  std::vector<Job> rejected_;
+  std::function<void(const JobRecord&)> on_complete_;
+  std::int64_t submitted_ = 0;
+};
+
+}  // namespace ghs::serve

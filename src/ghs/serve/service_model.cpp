@@ -1,0 +1,71 @@
+#include "ghs/serve/service_model.hpp"
+
+#include <algorithm>
+
+#include "ghs/core/platform.hpp"
+#include "ghs/cpu/device.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::serve {
+
+ServiceModel::ServiceModel(ServiceModelOptions options)
+    : options_(std::move(options)) {
+  GHS_REQUIRE(options_.cpu_threads > 0,
+              "cpu_threads=" << options_.cpu_threads);
+  options_.cpu_threads =
+      std::min(options_.cpu_threads, options_.config.cpu.cores);
+}
+
+SimTime ServiceModel::gpu_service(workload::CaseId case_id,
+                                  std::int64_t elements,
+                                  const core::ReduceTuning& tuning) {
+  const Key key{0,
+                static_cast<int>(case_id),
+                elements,
+                tuning.teams,
+                tuning.thread_limit,
+                tuning.v,
+                static_cast<int>(tuning.strategy)};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  core::Platform platform(options_.config);
+  core::GpuBenchmark bench;
+  bench.case_id = case_id;
+  bench.tuning = tuning;
+  bench.elements = elements;
+  bench.iterations = 1;
+  const auto result = core::run_gpu_benchmark(platform, bench);
+  cache_[key] = result.elapsed;
+  return result.elapsed;
+}
+
+SimTime ServiceModel::cpu_service(workload::CaseId case_id,
+                                  std::int64_t elements) {
+  const Key key{1, static_cast<int>(case_id), elements, 0, 0, 0, 0};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const auto& spec = workload::case_spec(case_id);
+  core::Platform platform(options_.config);
+  cpu::CpuReduceRequest request;
+  request.label = spec.name;
+  request.elements = elements;
+  request.element_size = spec.element_size;
+  request.threads = options_.cpu_threads;
+  request.use_simd = options_.cpu_simd;
+  SimTime duration = 0;
+  platform.cpu().reduce(request, [&duration](const cpu::CpuReduceResult& r) {
+    duration = r.duration();
+  });
+  platform.run();
+  GHS_REQUIRE(duration > 0, "CPU reduction produced no duration");
+  cache_[key] = duration;
+  return duration;
+}
+
+}  // namespace ghs::serve

@@ -1,0 +1,60 @@
+// Service-time model for the request-serving layer.
+//
+// A served job's cost is not guessed from peak bandwidth: each distinct
+// shape (case, elements, geometry, processor) is priced by actually running
+// the repository's reduction models once on a fresh Platform — a Listing 6
+// single repetition for the GPU, a host worksharing reduction for the Grace
+// CPU — and the resulting simulated duration is memoised. The serve layer
+// then replays those durations while time-sharing the devices, so a
+// thousand-job workload costs a handful of substrate simulations rather
+// than a thousand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "ghs/core/reduce.hpp"
+#include "ghs/core/system_config.hpp"
+#include "ghs/workload/cases.hpp"
+
+namespace ghs::serve {
+
+struct ServiceModelOptions {
+  core::SystemConfig config = core::gh200_config();
+  /// Host threads a CPU-placed job reduces with.
+  int cpu_threads = 72;
+  bool cpu_simd = true;
+};
+
+class ServiceModel {
+ public:
+  explicit ServiceModel(ServiceModelOptions options = {});
+
+  /// Duration of one optimized-kernel repetition (update-to + kernel +
+  /// update-from) for the shape, under `tuning`.
+  SimTime gpu_service(workload::CaseId case_id, std::int64_t elements,
+                      const core::ReduceTuning& tuning);
+
+  /// Duration of a host `parallel for simd reduction` over the shape with
+  /// the configured thread count (input resident in LPDDR).
+  SimTime cpu_service(workload::CaseId case_id, std::int64_t elements);
+
+  const ServiceModelOptions& options() const { return options_; }
+
+  /// Shape-cache effectiveness (one miss = one substrate simulation).
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  // (device, case, elements, teams, thread_limit, v, strategy); CPU entries
+  // zero the geometry fields.
+  using Key = std::tuple<int, int, std::int64_t, std::int64_t, int, int, int>;
+
+  ServiceModelOptions options_;
+  std::map<Key, SimTime> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace ghs::serve

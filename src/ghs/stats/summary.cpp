@@ -57,15 +57,33 @@ double arithmetic_mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
-double percentile(std::vector<double> values, double q) {
-  GHS_REQUIRE(!values.empty(), "percentile of empty vector");
-  GHS_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
-  std::sort(values.begin(), values.end());
+namespace {
+
+// Percentile of an already-sorted vector (the interpolation percentile()
+// documents).
+double sorted_percentile(const std::vector<double>& values, double q) {
   const double idx = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
   const auto hi = std::min(lo + 1, values.size() - 1);
   const double frac = idx - static_cast<double>(lo);
   return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> values, double q) {
+  GHS_REQUIRE(!values.empty(), "percentile of empty vector");
+  GHS_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, q);
+}
+
+Percentiles percentiles(std::vector<double> values) {
+  GHS_REQUIRE(!values.empty(), "percentiles of empty vector");
+  std::sort(values.begin(), values.end());
+  return Percentiles{sorted_percentile(values, 0.50),
+                     sorted_percentile(values, 0.95),
+                     sorted_percentile(values, 0.99)};
 }
 
 }  // namespace ghs::stats

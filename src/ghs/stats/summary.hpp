@@ -36,4 +36,15 @@ double arithmetic_mean(const std::vector<double>& values);
 /// Exact percentile by sorting a copy (q in [0,1], linear interpolation).
 double percentile(std::vector<double> values, double q);
 
+/// The latency-report percentile bundle (serve layer, benches).
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// p50/p95/p99 of `values` with one sort (same interpolation as
+/// percentile()); requires non-empty input.
+Percentiles percentiles(std::vector<double> values);
+
 }  // namespace ghs::stats

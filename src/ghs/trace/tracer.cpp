@@ -16,6 +16,8 @@ const char* track_name(Track track) {
       return "UM migration";
     case Track::kRuntime:
       return "OpenMP runtime";
+    case Track::kServer:
+      return "Reduction service";
   }
   return "?";
 }
@@ -81,7 +83,7 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     os << "\"";
   };
   // Thread-name metadata so the viewer labels the tracks.
-  for (int t = 0; t <= static_cast<int>(Track::kRuntime); ++t) {
+  for (int t = 0; t <= static_cast<int>(Track::kServer); ++t) {
     if (!first) os << ",";
     first = false;
     os << "{\"pid\":1,\"tid\":" << t

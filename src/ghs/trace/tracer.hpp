@@ -25,6 +25,9 @@ enum class Track : std::uint8_t {
   kCpu = 2,
   kUmMigration = 3,
   kRuntime = 4,
+  /// Request-serving layer (ghs::serve): per-launch spans and admission
+  /// markers of the multi-tenant scheduler.
+  kServer = 5,
 };
 
 const char* track_name(Track track);

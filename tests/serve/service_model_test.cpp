@@ -1,0 +1,42 @@
+#include "ghs/serve/service_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghs::serve {
+namespace {
+
+TEST(ServiceModelTest, CachesShapes) {
+  ServiceModel model;
+  const auto tuning = core::paper_best_tuning(workload::CaseId::kC1);
+  const auto first = model.gpu_service(workload::CaseId::kC1, 1 << 16, tuning);
+  EXPECT_EQ(model.misses(), 1);
+  const auto second =
+      model.gpu_service(workload::CaseId::kC1, 1 << 16, tuning);
+  EXPECT_EQ(model.misses(), 1);
+  EXPECT_EQ(model.hits(), 1);
+  EXPECT_EQ(first, second);
+  // CPU entries are cached independently of GPU entries.
+  model.cpu_service(workload::CaseId::kC1, 1 << 16);
+  EXPECT_EQ(model.misses(), 2);
+}
+
+TEST(ServiceModelTest, ServiceGrowsWithElements) {
+  ServiceModel model;
+  const auto tuning = core::paper_best_tuning(workload::CaseId::kC3);
+  EXPECT_LT(model.gpu_service(workload::CaseId::kC3, 1 << 16, tuning),
+            model.gpu_service(workload::CaseId::kC3, 1 << 22, tuning));
+  EXPECT_LT(model.cpu_service(workload::CaseId::kC3, 1 << 16),
+            model.cpu_service(workload::CaseId::kC3, 1 << 22));
+}
+
+TEST(ServiceModelTest, GpuOutrunsCpuOnLargeShapes) {
+  ServiceModel model;
+  const auto tuning = core::paper_best_tuning(workload::CaseId::kC1);
+  // At 2^24 elements (64 MiB of int32) the H100's HBM stream beats the
+  // Grace socket even with launch overheads amortised once.
+  EXPECT_LT(model.gpu_service(workload::CaseId::kC1, 1 << 24, tuning),
+            model.cpu_service(workload::CaseId::kC1, 1 << 24));
+}
+
+}  // namespace
+}  // namespace ghs::serve

@@ -79,5 +79,23 @@ TEST(SummaryTest, PercentileRejectsBadInput) {
   EXPECT_THROW(percentile({1.0}, 1.1), Error);
 }
 
+TEST(SummaryTest, PercentilesBundleMatchesPercentile) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(static_cast<double>(i));
+  const auto p = percentiles(v);
+  EXPECT_DOUBLE_EQ(p.p50, percentile(v, 0.50));
+  EXPECT_DOUBLE_EQ(p.p95, percentile(v, 0.95));
+  EXPECT_DOUBLE_EQ(p.p99, percentile(v, 0.99));
+  EXPECT_DOUBLE_EQ(p.p50, 50.5);
+}
+
+TEST(SummaryTest, PercentilesSingleValue) {
+  const auto p = percentiles({7.5});
+  EXPECT_DOUBLE_EQ(p.p50, 7.5);
+  EXPECT_DOUBLE_EQ(p.p95, 7.5);
+  EXPECT_DOUBLE_EQ(p.p99, 7.5);
+  EXPECT_THROW(percentiles({}), Error);
+}
+
 }  // namespace
 }  // namespace ghs::stats

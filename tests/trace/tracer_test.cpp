@@ -42,6 +42,17 @@ TEST(TracerTest, ClearEmptiesEverything) {
   EXPECT_EQ(tracer.size(), 0u);
 }
 
+TEST(TracerTest, ServerTrackIsNamedAndExported) {
+  EXPECT_STREQ(track_name(Track::kServer), "Reduction service");
+  Tracer tracer;
+  tracer.record(Track::kServer, "C1 x4 @GPU", 0, 100);
+  std::ostringstream oss;
+  tracer.write_chrome_json(oss);
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("Reduction service"), std::string::npos);
+  EXPECT_NE(json.find("C1 x4 @GPU"), std::string::npos);
+}
+
 TEST(TracerTest, RecordSpanHelperHonoursNull) {
   EXPECT_NO_THROW(record_span(nullptr, Track::kGpu, "x", 0, 1));
   Tracer tracer;
