@@ -1,6 +1,9 @@
 #include "common.hpp"
 
+#include <fstream>
+
 #include "ghs/core/config_io.hpp"
+#include "ghs/telemetry/exporters.hpp"
 #include "ghs/util/error.hpp"
 #include "ghs/util/strings.hpp"
 
@@ -17,6 +20,9 @@ CommonCli::CommonCli(std::string program, std::string description,
   csv_ = cli_.add_flag("csv", "emit CSV instead of tables");
   config_ = cli_.add_string(
       "config", "", "properties file overriding the GH200 system model");
+  metrics_out_ = cli_.add_string(
+      "metrics-out", "",
+      "write Prometheus metrics here (+ JSON snapshot at FILE.json)");
 }
 
 CommonOptions CommonCli::parse(int argc, const char* const* argv) {
@@ -36,7 +42,27 @@ CommonOptions CommonCli::parse(int argc, const char* const* argv) {
   options.csv = *csv_;
   options.config = config_->empty() ? core::gh200_config()
                                     : core::load_system_config(*config_);
+  options.metrics_out = *metrics_out_;
+  if (!options.metrics_out.empty()) {
+    options.registry = std::make_shared<telemetry::Registry>();
+    options.flight = std::make_shared<telemetry::FlightRecorder>();
+  }
   return options;
+}
+
+void write_metrics(const CommonOptions& options) {
+  if (options.metrics_out.empty()) return;
+  GHS_REQUIRE(options.registry != nullptr, "telemetry was never enabled");
+  {
+    std::ofstream out(options.metrics_out);
+    GHS_REQUIRE(out.good(), "cannot write " << options.metrics_out);
+    telemetry::write_prometheus(out, *options.registry);
+  }
+  const std::string json_path = options.metrics_out + ".json";
+  std::ofstream out(json_path);
+  GHS_REQUIRE(out.good(), "cannot write " << json_path);
+  telemetry::write_json_snapshot(out, *options.registry);
+  out << "\n";
 }
 
 void print_paper_reference(bool csv, const std::string& text) {

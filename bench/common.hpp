@@ -10,10 +10,13 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ghs/core/system_config.hpp"
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/workload/cases.hpp"
 
@@ -27,6 +30,20 @@ struct CommonOptions {
   /// GH200 defaults, or overrides from --config=FILE (see
   /// ghs/core/config_io.hpp for the key list).
   core::SystemConfig config;
+  /// --metrics-out destination ("" = telemetry off). The file receives the
+  /// Prometheus exposition; the JSON snapshot lands at the same path with
+  /// ".json" appended.
+  std::string metrics_out;
+  /// Live instruments when --metrics-out was given (shared, so copies of
+  /// the options point at the same registry).
+  std::shared_ptr<telemetry::Registry> registry;
+  std::shared_ptr<telemetry::FlightRecorder> flight;
+
+  /// The sink to hand to SweepOptions/ServiceOptions/...; all-null when
+  /// telemetry is off.
+  telemetry::Sink telemetry() const {
+    return telemetry::Sink{registry.get(), flight.get()};
+  }
 };
 
 class CommonCli {
@@ -46,7 +63,14 @@ class CommonCli {
   const long long* elements_;
   const bool* csv_;
   const std::string* config_;
+  const std::string* metrics_out_;
 };
+
+/// Writes the Prometheus exposition to options.metrics_out and the JSON
+/// snapshot to options.metrics_out + ".json". No-op when --metrics-out was
+/// not given. Snapshots exclude volatile instruments, so same-seed runs
+/// produce byte-identical files.
+void write_metrics(const CommonOptions& options);
 
 /// Prints the "paper reports ..." reference line benches emit under each
 /// reproduced artefact (suppressed in CSV mode).

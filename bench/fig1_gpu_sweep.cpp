@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   sweep.iterations = options.iterations;
   sweep.elements = options.elements;
   sweep.thread_limit = static_cast<int>(*thread_limit);
+  sweep.telemetry = options.telemetry();
 
   const char* figure_ids[] = {"1a", "1b", "1c", "1d"};
   for (workload::CaseId case_id : options.cases) {
@@ -64,5 +65,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  bench::write_metrics(options);
   return 0;
 }

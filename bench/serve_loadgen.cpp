@@ -12,6 +12,7 @@
 // "policies" holds one serve report per policy (p50/p95/p99 latency and
 // queue wait, rejected count, batching and placement counters), and
 // "comparison" contrasts bandwidth-aware against FIFO when both ran.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -21,6 +22,9 @@
 #include "ghs/serve/loadgen.hpp"
 #include "ghs/serve/policy.hpp"
 #include "ghs/serve/service.hpp"
+#include "ghs/telemetry/exporters.hpp"
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
 
@@ -87,7 +91,23 @@ int main(int argc, char** argv) {
       cli.add_flag("no-cpu", "GPU-only device pool (no Grace CPU)");
   const auto* trace_path =
       cli.add_string("trace", "", "write a Chrome-trace JSON timeline here");
+  const auto* um_fraction = cli.add_double(
+      "um-fraction", 0.0,
+      "fraction of jobs over unified-memory buffers (GPU-only placement)");
+  const auto* metrics_out = cli.add_string(
+      "metrics-out", "",
+      "write Prometheus metrics here (+ JSON snapshot at FILE.json)");
   cli.parse(argc, argv);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // One registry accumulates across every policy run; null pointers keep
+  // telemetry free when --metrics-out was not given.
+  telemetry::Registry registry;
+  telemetry::FlightRecorder flight;
+  const bool metrics = !metrics_out->empty();
+  const telemetry::Sink sink =
+      metrics ? telemetry::Sink{&registry, &flight} : telemetry::Sink{};
 
   RunSettings settings;
   settings.closed = *closed;
@@ -97,6 +117,7 @@ int main(int argc, char** argv) {
   shape.min_log2_elements = static_cast<int>(*min_log2);
   shape.max_log2_elements = static_cast<int>(*max_log2);
   shape.deadline = *deadline_us * kMicrosecond;
+  shape.um_fraction = *um_fraction;
 
   settings.open.shape = shape;
   settings.open.rate_hz = *rate;
@@ -112,6 +133,7 @@ int main(int argc, char** argv) {
   settings.service.queue_depth = static_cast<std::size_t>(*depth);
   settings.service.batching.enable = !*no_batch;
   settings.service.use_cpu = !*no_cpu;
+  settings.service.telemetry = sink;
 
   std::vector<std::string> policies;
   if (*policy == "all") {
@@ -120,7 +142,9 @@ int main(int argc, char** argv) {
     policies = {*policy};
   }
 
-  serve::ServiceModel model;
+  serve::ServiceModelOptions model_options;
+  model_options.telemetry = sink;
+  serve::ServiceModel model(model_options);
 
   std::ostringstream out;
   out << "{\"workload\":{\"mode\":\""
@@ -134,7 +158,8 @@ int main(int argc, char** argv) {
   out << ",\"jobs\":" << *jobs << ",\"seed\":" << *seed
       << ",\"min_log2_elements\":" << *min_log2
       << ",\"max_log2_elements\":" << *max_log2
-      << ",\"deadline_us\":" << *deadline_us << ",\"queue_depth\":" << *depth
+      << ",\"deadline_us\":" << *deadline_us
+      << ",\"um_fraction\":" << *um_fraction << ",\"queue_depth\":" << *depth
       << ",\"batching\":" << (settings.service.batching.enable ? "true"
                                                                : "false")
       << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false")
@@ -167,7 +192,38 @@ int main(int argc, char** argv) {
         << ",\"bandwidth_gbps\":" << bandwidth_report.throughput_gbps
         << ",\"bandwidth_over_fifo\":" << buf << "}";
   }
+  if (metrics) {
+    // Wall time is real-world and run-dependent, so the gauge is volatile:
+    // it shows up in the Prometheus exposition but not in the JSON
+    // snapshot, keeping same-seed snapshots byte-identical.
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    registry
+        .gauge("ghs_bench_wall_seconds", {},
+               "wall-clock duration of this bench process",
+               /*volatile_instrument=*/true)
+        .set(wall.count());
+    out << ",\"metrics\":";
+    telemetry::write_json_snapshot(out, registry);
+  }
   out << "}";
   std::cout << out.str() << "\n";
+
+  if (metrics) {
+    {
+      // The exposition is a scrape, not a diff artefact, so it may carry
+      // the volatile wall-clock gauge; the snapshot stays deterministic.
+      telemetry::ExportOptions scrape;
+      scrape.include_volatile = true;
+      std::ofstream prom(*metrics_out);
+      GHS_REQUIRE(prom.good(), "cannot write " << *metrics_out);
+      telemetry::write_prometheus(prom, registry, scrape);
+    }
+    const std::string json_path = *metrics_out + ".json";
+    std::ofstream snapshot(json_path);
+    GHS_REQUIRE(snapshot.good(), "cannot write " << json_path);
+    telemetry::write_json_snapshot(snapshot, registry);
+    snapshot << "\n";
+  }
   return 0;
 }

@@ -18,6 +18,7 @@ core::UmSweepOptions to_um_options(const CommonOptions& options,
   um.optimized = optimized;
   um.iterations = options.iterations;
   um.elements = options.elements;
+  um.telemetry = options.telemetry();
   return um;
 }
 
@@ -45,6 +46,7 @@ int run_um_figure(const std::string& program, const std::string& figure_name,
     }
     print_paper_reference(options.csv, paper_note);
   }
+  write_metrics(options);
   return 0;
 }
 
@@ -70,6 +72,7 @@ int run_um_speedup(const std::string& program,
     ratio.render(std::cout);
     print_paper_reference(options.csv, paper_note);
   }
+  write_metrics(options);
   return 0;
 }
 

@@ -5,6 +5,9 @@
 #   $ scripts/check.sh            # both configs
 #   $ scripts/check.sh release    # just the plain build
 #   $ scripts/check.sh asan       # just the sanitized build
+#   $ scripts/check.sh telemetry  # just the telemetry suite under ASan+UBSan
+#                                 # (fast gate for the registry's
+#                                 # concurrency contract)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +18,8 @@ if [[ $# -eq 0 ]]; then
 fi
 
 for config in "${configs[@]}"; do
+  target=""
+  test_regex=""
   case "$config" in
     release)
       dir=build
@@ -24,16 +29,30 @@ for config in "${configs[@]}"; do
       dir=build-asan
       flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
       ;;
+    telemetry)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target=telemetry_tests
+      test_regex=telemetry_tests
+      ;;
     *)
-      echo "unknown config '$config' (release|asan)" >&2
+      echo "unknown config '$config' (release|asan|telemetry)" >&2
       exit 2
       ;;
   esac
   echo "==> configure $config"
   cmake -B "$dir" -S . "${flags[@]}"
   echo "==> build $config"
-  cmake --build "$dir" -j "$jobs"
+  if [[ -n "$target" ]]; then
+    cmake --build "$dir" -j "$jobs" --target "$target"
+  else
+    cmake --build "$dir" -j "$jobs"
+  fi
   echo "==> test $config"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  if [[ -n "$test_regex" ]]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" -R "$test_regex"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
 done
 echo "==> all green"

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two telemetry JSON snapshots (telemetry::write_json_snapshot).
+
+Typical uses:
+
+  # Determinism gate: same-seed runs must match exactly.
+  $ build/bench/serve_loadgen --seed=7 --metrics-out=a.prom >/dev/null
+  $ build/bench/serve_loadgen --seed=7 --metrics-out=b.prom >/dev/null
+  $ scripts/metrics_diff.py a.prom.json b.prom.json
+
+  # Regression gate: flag counters that moved more than 5% between a
+  # baseline snapshot and a candidate one.
+  $ scripts/metrics_diff.py --threshold=0.05 baseline.json candidate.json
+
+Exit status: 0 when the snapshots agree (within the threshold), 1 when any
+instrument regressed/appeared/disappeared, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read snapshot {path}: {err}")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            sys.exit(f"error: {path} is not a telemetry snapshot "
+                     f"(missing '{section}')")
+    return snapshot
+
+
+def flatten(snapshot):
+    """One {instrument: numeric value} map per snapshot.
+
+    Histograms contribute their count and sum; bucket shapes are compared
+    only when counts differ (a same-count, different-bucket histogram is
+    still reported through the sum).
+    """
+    values = {}
+    for name, value in snapshot["counters"].items():
+        values[f"counter {name}"] = float(value)
+    for name, value in snapshot["gauges"].items():
+        values[f"gauge {name}"] = float(value)
+    for name, hist in snapshot["histograms"].items():
+        values[f"histogram {name} count"] = float(hist["count"])
+        values[f"histogram {name} sum"] = float(hist["sum"])
+    return values
+
+
+def relative_delta(before, after):
+    if before == after:
+        return 0.0
+    denom = max(abs(before), abs(after))
+    return abs(after - before) / denom
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline snapshot (.json)")
+    parser.add_argument("candidate", help="candidate snapshot (.json)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="allowed relative change per instrument (default 0 = exact)")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+
+    before = flatten(load(args.baseline))
+    after = flatten(load(args.candidate))
+
+    failures = []
+    for key in sorted(set(before) | set(after)):
+        if key not in before:
+            failures.append(f"NEW       {key} = {after[key]:g}")
+        elif key not in after:
+            failures.append(f"REMOVED   {key} (was {before[key]:g})")
+        else:
+            delta = relative_delta(before[key], after[key])
+            if delta > args.threshold:
+                failures.append(
+                    f"CHANGED   {key}: {before[key]:g} -> {after[key]:g} "
+                    f"({delta:+.1%} vs threshold {args.threshold:.1%})")
+
+    if failures:
+        print(f"{len(failures)} instrument(s) outside threshold "
+              f"{args.threshold:g}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+
+    print(f"snapshots agree: {len(after)} instrument value(s) within "
+          f"threshold {args.threshold:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

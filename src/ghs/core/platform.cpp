@@ -14,6 +14,13 @@ Platform::Platform(const SystemConfig& config) : config_(config) {
                                             *cpu_, config_.omp);
 }
 
+void Platform::set_telemetry(telemetry::Sink sink) {
+  telemetry_ = sink;
+  sim_.set_telemetry(sink.metrics);
+  gpu_->set_telemetry(sink);
+  um_->set_telemetry(sink);
+}
+
 trace::Tracer& Platform::enable_tracing() {
   if (!tracer_) {
     tracer_ = std::make_unique<trace::Tracer>();

@@ -16,6 +16,7 @@
 #include "ghs/mem/transfer.hpp"
 #include "ghs/omp/runtime.hpp"
 #include "ghs/sim/simulator.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/trace/tracer.hpp"
 #include "ghs/um/manager.hpp"
 
@@ -47,7 +48,16 @@ class Platform {
   /// The installed tracer, or nullptr when tracing is off.
   trace::Tracer* tracer() { return tracer_.get(); }
 
+  /// Wires metric instruments and the flight recorder into the simulator,
+  /// the GPU, and the UM manager. The sink is externally owned (one
+  /// registry typically outlives many platforms, so their counts
+  /// accumulate). Null members disable the corresponding channel.
+  void set_telemetry(telemetry::Sink sink);
+
+  const telemetry::Sink& telemetry() const { return telemetry_; }
+
  private:
+  telemetry::Sink telemetry_;
   std::unique_ptr<trace::Tracer> tracer_;
   SystemConfig config_;
   sim::Simulator sim_;

@@ -14,6 +14,24 @@ namespace ghs::core {
 using workload::CaseId;
 using workload::case_spec;
 
+namespace {
+
+// Wires one sweep point's fresh platform into the shared sink and counts
+// the evaluation against the tuner/sweep budget metric.
+void instrument_sweep_point(Platform& platform,
+                            const telemetry::Sink& sink) {
+  if (!sink) return;
+  platform.set_telemetry(sink);
+  if (sink.metrics != nullptr) {
+    sink.metrics
+        ->counter("ghs_tuner_sweep_evaluations_total", {},
+                  "Fresh-platform evaluations performed by exhaustive sweeps")
+        .inc();
+  }
+}
+
+}  // namespace
+
 stats::Figure fig1_sweep(CaseId case_id, const SweepOptions& opts) {
   const auto& spec = case_spec(case_id);
   std::ostringstream title;
@@ -27,6 +45,7 @@ stats::Figure fig1_sweep(CaseId case_id, const SweepOptions& opts) {
     for (std::int64_t teams : opts.teams) {
       if (teams % v != 0) continue;
       Platform platform(opts.config);
+      instrument_sweep_point(platform, opts.telemetry);
       GpuBenchmark bench;
       bench.case_id = case_id;
       bench.tuning = ReduceTuning{teams, opts.thread_limit, v};
@@ -48,6 +67,7 @@ std::vector<Table1Row> table1(const std::vector<CaseId>& cases,
     row.case_id = case_id;
     {
       Platform platform(opts.config);
+      instrument_sweep_point(platform, opts.telemetry);
       GpuBenchmark bench;
       bench.case_id = case_id;
       bench.tuning = std::nullopt;  // Listing 2 baseline
@@ -60,6 +80,7 @@ std::vector<Table1Row> table1(const std::vector<CaseId>& cases,
       for (std::int64_t teams : opts.teams) {
         if (teams % v != 0) continue;
         Platform platform(opts.config);
+        instrument_sweep_point(platform, opts.telemetry);
         GpuBenchmark bench;
         bench.case_id = case_id;
         bench.tuning = ReduceTuning{teams, opts.thread_limit, v};
@@ -84,6 +105,7 @@ std::vector<Table1Row> table1(const std::vector<CaseId>& cases,
 HeteroBenchmarkResult um_sweep_case(CaseId case_id,
                                     const UmSweepOptions& opts) {
   Platform platform(opts.config);
+  instrument_sweep_point(platform, opts.telemetry);
   HeteroBenchmark bench;
   bench.case_id = case_id;
   bench.tuning = opts.optimized

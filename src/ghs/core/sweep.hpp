@@ -9,6 +9,7 @@
 #include "ghs/core/reduce.hpp"
 #include "ghs/core/system_config.hpp"
 #include "ghs/stats/series.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/workload/cases.hpp"
 
 namespace ghs::core {
@@ -25,6 +26,9 @@ struct SweepOptions {
   int iterations = 25;
   std::int64_t elements = 0;  // 0 = the case's paper M
   SystemConfig config = gh200_config();
+  /// Instruments each sweep point's platform and counts evaluations
+  /// (null members disable).
+  telemetry::Sink telemetry;
 };
 
 /// Fig. 1a-1d: bandwidth (GB/s) vs number of teams, one series per V.
@@ -52,6 +56,9 @@ struct UmSweepOptions {
   int iterations = 200;
   std::int64_t elements = 0;
   SystemConfig config = gh200_config();
+  /// Instruments each case's platform and counts evaluations
+  /// (null members disable).
+  telemetry::Sink telemetry;
 };
 
 /// One case's full p-sweep (fresh platform per case, shared across p).

@@ -14,6 +14,13 @@ namespace {
 double probe(workload::CaseId case_id, const ReduceTuning& tuning,
              const TunerOptions& options) {
   Platform platform(options.config);
+  if (options.telemetry) platform.set_telemetry(options.telemetry);
+  if (options.telemetry.metrics != nullptr) {
+    options.telemetry.metrics
+        ->counter("ghs_tuner_probes_total", {},
+                  "Fresh-platform configurations evaluated by the tuner")
+        .inc();
+  }
   GpuBenchmark bench;
   bench.case_id = case_id;
   bench.tuning = tuning;
@@ -37,6 +44,12 @@ TunerResult tune_reduction(workload::CaseId case_id, ReduceTuning seed,
               "seed must lie on the power-of-two lattice");
   GHS_REQUIRE(in_bounds(seed, options), "seed outside the search bounds");
 
+  if (options.telemetry.metrics != nullptr) {
+    options.telemetry.metrics
+        ->counter("ghs_tuner_runs_total", {},
+                  "Hill-climb tuning runs started")
+        .inc();
+  }
   TunerResult result;
   const auto evaluate = [&](const ReduceTuning& tuning) {
     const double gbps = probe(case_id, tuning, options);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ghs/core/reduce.hpp"
+#include "ghs/telemetry/registry.hpp"
 
 namespace ghs::core {
 
@@ -34,6 +35,9 @@ struct TunerOptions {
   /// Abort knob: give up after this many probes.
   int max_probes = 100;
   SystemConfig config = gh200_config();
+  /// Metric instruments + flight recorder for the probes' platforms and the
+  /// tuner's own run/probe counters (null members disable).
+  telemetry::Sink telemetry;
 };
 
 struct TunerProbe {

@@ -71,6 +71,10 @@ void GpuDevice::launch(const KernelDesc& desc,
                                             << "' has no elements");
   busy_ = true;
   ++stats_.kernels_launched;
+  if (kernels_counter_ != nullptr) kernels_counter_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "gpu", "kernel_launch", desc.label);
+  }
 
   auto exec = std::make_shared<Execution>();
   exec->desc = desc;
@@ -113,6 +117,11 @@ void GpuDevice::start_wave(const std::shared_ptr<Execution>& exec) {
   const std::int64_t count = std::min(exec->wave_size, remaining);
   exec->ctas_dispatched += count;
   ++stats_.waves_executed;
+  if (waves_counter_ != nullptr) waves_counter_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "gpu", "wave_launch",
+                    desc.label + ": " + std::to_string(count) + " CTAs");
+  }
 
   // Serial CTA dispatch: the wave cannot start before the gigathread engine
   // has emitted its CTAs.
@@ -311,6 +320,19 @@ void GpuDevice::finish_kernel(const std::shared_ptr<Execution>& exec) {
     }
     if (exec->on_complete) exec->on_complete(exec->result);
   });
+}
+
+void GpuDevice::set_telemetry(telemetry::Sink sink) {
+  flight_ = sink.flight;
+  if (sink.metrics == nullptr) {
+    kernels_counter_ = nullptr;
+    waves_counter_ = nullptr;
+    return;
+  }
+  kernels_counter_ = &sink.metrics->counter(
+      "ghs_gpu_kernels_total", {}, "Kernels launched on the simulated GPU");
+  waves_counter_ = &sink.metrics->counter(
+      "ghs_gpu_waves_total", {}, "Occupancy-limited waves executed");
 }
 
 }  // namespace ghs::gpu

@@ -25,6 +25,8 @@
 #include "ghs/mem/topology.hpp"
 #include "ghs/sim/server.hpp"
 #include "ghs/sim/simulator.hpp"
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/trace/tracer.hpp"
 #include "ghs/um/manager.hpp"
 
@@ -61,6 +63,10 @@ class GpuDevice {
   /// only for runs with modest grids.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Registers kernel/wave counters and the flight recorder (null members
+  /// disable the corresponding channel).
+  void set_telemetry(telemetry::Sink sink);
+
  private:
   struct Execution;
 
@@ -77,6 +83,9 @@ class GpuDevice {
   sim::SerialServer combine_unit_;
   GpuDeviceStats stats_;
   trace::Tracer* tracer_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Counter* kernels_counter_ = nullptr;
+  telemetry::Counter* waves_counter_ = nullptr;
   bool busy_ = false;
 };
 

@@ -8,8 +8,21 @@
 namespace ghs::serve {
 
 DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
-                       trace::Tracer* tracer)
-    : sim_(sim), model_(model), use_cpu_(use_cpu), tracer_(tracer) {}
+                       trace::Tracer* tracer, telemetry::Sink sink)
+    : sim_(sim), model_(model), use_cpu_(use_cpu), tracer_(tracer) {
+  flight_ = sink.flight;
+  if (sink.metrics != nullptr) {
+    m_gpu_launches_ =
+        &sink.metrics->counter("ghs_serve_launches_total", {{"device", "gpu"}},
+                               "Device launches performed by the pool");
+    m_cpu_launches_ =
+        &sink.metrics->counter("ghs_serve_launches_total", {{"device", "cpu"}},
+                               "Device launches performed by the pool");
+    m_batched_jobs_ =
+        &sink.metrics->counter("ghs_serve_batched_jobs_total", {},
+                               "Jobs that rode a multi-job launch");
+  }
+}
 
 bool DevicePool::idle(Placement device) const {
   if (device == Placement::kGpu) return !gpu_busy_;
@@ -23,24 +36,45 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
   GHS_REQUIRE(idle(device), "launch on busy " << placement_name(device));
 
   const auto case_id = jobs.front().case_id;
+  const bool unified = jobs.front().unified;
   std::int64_t total_elements = 0;
   for (const auto& job : jobs) {
     GHS_REQUIRE(job.case_id == case_id, "mixed-case launch");
+    GHS_REQUIRE(job.unified == unified, "mixed unified/explicit launch");
     total_elements += job.elements;
   }
+  GHS_REQUIRE(!unified || device == Placement::kGpu,
+              "unified jobs are GPU-only");
 
   const SimTime service =
       device == Placement::kGpu
-          ? model_.gpu_service(case_id, total_elements, tuning)
+          ? (unified
+                 ? model_.unified_gpu_service(case_id, total_elements, tuning)
+                 : model_.gpu_service(case_id, total_elements, tuning))
           : model_.cpu_service(case_id, total_elements);
   const SimTime begin = sim_.now();
   const SimTime end = begin + service;
 
   const std::int64_t launch_id = next_launch_id_++;
   ++stats_.launches;
+  if (device == Placement::kGpu) {
+    if (m_gpu_launches_ != nullptr) m_gpu_launches_->inc();
+  } else {
+    if (m_cpu_launches_ != nullptr) m_cpu_launches_->inc();
+  }
   if (jobs.size() > 1) {
     ++stats_.multi_job_launches;
     stats_.batched_jobs += static_cast<std::int64_t>(jobs.size());
+    if (m_batched_jobs_ != nullptr) {
+      m_batched_jobs_->inc(static_cast<std::int64_t>(jobs.size()));
+    }
+  }
+  if (flight_ != nullptr) {
+    flight_->record(begin, "serve", "launch",
+                    std::string(workload::case_spec(case_id).name) + " x" +
+                        std::to_string(jobs.size()) + " @" +
+                        placement_name(device) +
+                        (unified ? " unified" : ""));
   }
   if (device == Placement::kGpu) {
     gpu_busy_ = true;

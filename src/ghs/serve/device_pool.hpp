@@ -14,6 +14,8 @@
 #include "ghs/serve/job.hpp"
 #include "ghs/serve/service_model.hpp"
 #include "ghs/sim/simulator.hpp"
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/trace/tracer.hpp"
 
 namespace ghs::serve {
@@ -45,7 +47,7 @@ class DevicePool {
   /// With `use_cpu` false the pool is GPU-only (the CPU never reports
   /// idle), which lets single-device policies run on a matching machine.
   DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
-             trace::Tracer* tracer);
+             trace::Tracer* tracer, telemetry::Sink sink = {});
 
   bool idle(Placement device) const;
   bool use_cpu() const { return use_cpu_; }
@@ -66,6 +68,10 @@ class DevicePool {
   ServiceModel& model_;
   bool use_cpu_;
   trace::Tracer* tracer_;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Counter* m_gpu_launches_ = nullptr;
+  telemetry::Counter* m_cpu_launches_ = nullptr;
+  telemetry::Counter* m_batched_jobs_ = nullptr;
   bool gpu_busy_ = false;
   bool cpu_busy_ = false;
   std::int64_t next_launch_id_ = 0;

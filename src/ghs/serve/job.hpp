@@ -27,6 +27,10 @@ struct Job {
   SimTime arrival = 0;
   /// Absolute completion deadline; 0 = best-effort (no deadline).
   SimTime deadline = 0;
+  /// Tenant hands over a managed (unified-memory) buffer instead of an
+  /// explicitly mapped one: service cost then includes the page migration
+  /// the first GPU pass triggers. Unified jobs are GPU-only.
+  bool unified = false;
 
   Bytes bytes() const {
     return elements * workload::case_spec(case_id).element_size;

@@ -48,6 +48,13 @@ Job make_job(JobId id, const WorkloadShape& shape, SimTime arrival,
   job.elements = pick_elements(shape, rng);
   job.arrival = arrival;
   if (shape.deadline > 0) job.deadline = arrival + shape.deadline;
+  // Drawing only when enabled keeps um_fraction == 0 workloads identical
+  // to the pre-unified RNG stream.
+  if (shape.um_fraction > 0.0) {
+    GHS_REQUIRE(shape.um_fraction <= 1.0,
+                "um_fraction=" << shape.um_fraction);
+    job.unified = rng.next_double() < shape.um_fraction;
+  }
   return job;
 }
 

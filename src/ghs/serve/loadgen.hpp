@@ -34,6 +34,10 @@ struct WorkloadShape {
   int max_log2_elements = 21;
   /// Relative deadline added to each arrival; 0 = best-effort.
   SimTime deadline = 0;
+  /// Fraction of jobs submitted as unified-memory tenants (managed buffer,
+  /// GPU-only placement, fault-migration cost in the price). 0 preserves
+  /// the legacy explicit-map workload byte for byte.
+  double um_fraction = 0.0;
 };
 
 struct OpenLoopOptions {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "ghs/telemetry/flight_recorder.hpp"
 #include "ghs/util/error.hpp"
 
 namespace ghs::serve {
@@ -58,6 +59,9 @@ BandwidthAwarePolicy::BandwidthAwarePolicy(ServiceModel& model,
 }
 
 bool BandwidthAwarePolicy::cpu_eligible(const Job& job) {
+  // Unified jobs hand the GPU a managed buffer; the host path is not
+  // priced for them.
+  if (job.unified) return false;
   if (job.bytes() > options_.max_cpu_bytes) return false;
   const SimTime cpu = model_.cpu_service(job.case_id, job.elements);
   const SimTime gpu = model_.gpu_service(job.case_id, job.elements,
@@ -79,18 +83,38 @@ std::optional<std::size_t> BandwidthAwarePolicy::select(
 }
 
 core::ReduceTuning BandwidthAwarePolicy::geometry(const Job& job) {
+  const telemetry::Sink& sink = model_.options().telemetry;
   const Key key{static_cast<int>(job.case_id), job.elements,
                 config_fingerprint_};
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++cache_stats_.hits;
+    if (sink.metrics != nullptr) {
+      sink.metrics
+          ->counter("ghs_tuner_cache_hits_total", {},
+                    "Geometry-cache lookups served without re-tuning")
+          .inc();
+    }
     return it->second;
   }
   ++cache_stats_.misses;
+  if (sink.metrics != nullptr) {
+    sink.metrics
+        ->counter("ghs_tuner_cache_misses_total", {},
+                  "Geometry-cache lookups that ran the hill-climb tuner")
+        .inc();
+  }
+  if (sink.flight != nullptr) {
+    sink.flight->record(job.arrival, "tuner", "cache_miss",
+                        std::string(workload::case_spec(job.case_id).name) +
+                            " " + std::to_string(job.elements) +
+                            " elements");
+  }
   core::TunerOptions tuner;
   tuner.elements = job.elements;
   tuner.iterations = 1;
   tuner.max_probes = options_.max_probes;
   tuner.config = model_.options().config;
+  tuner.telemetry = sink;
   const auto result = core::tune_reduction(
       job.case_id, core::paper_best_tuning(job.case_id), tuner);
   cache_[key] = result.best;

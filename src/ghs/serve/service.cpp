@@ -32,6 +32,8 @@ void write_latency(std::ostream& os, const char* key,
   write_double(os, stats.pct.p95);
   os << ",\"p99_ms\":";
   write_double(os, stats.pct.p99);
+  os << ",\"p999_ms\":";
+  write_double(os, stats.pct.p999);
   os << ",\"max_ms\":";
   write_double(os, stats.max_ms);
   os << "}";
@@ -56,7 +58,7 @@ void ServiceReport::write_json(std::ostream& os) const {
      << ",\"launches\":" << launches
      << ",\"multi_job_launches\":" << multi_job_launches
      << ",\"batched_jobs\":" << batched_jobs << ",\"gpu_jobs\":" << gpu_jobs
-     << ",\"cpu_jobs\":" << cpu_jobs
+     << ",\"cpu_jobs\":" << cpu_jobs << ",\"um_jobs\":" << um_jobs
      << ",\"queue_high_watermark\":" << queue_high_watermark
      << ",\"makespan_ms\":";
   write_double(os, to_ms(makespan));
@@ -82,8 +84,31 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
       options_(options),
       tracer_(tracer),
       queue_(options.queue_depth),
-      pool_(sim_, model, options.use_cpu, tracer) {
+      pool_(sim_, model, options.use_cpu, tracer, options.telemetry) {
   GHS_REQUIRE(policy_ != nullptr, "null policy");
+  const telemetry::Sink& sink = options_.telemetry;
+  flight_ = sink.flight;
+  if (sink.metrics != nullptr) {
+    telemetry::Registry& r = *sink.metrics;
+    sim_.set_telemetry(&r);
+    m_submitted_ = &r.counter("ghs_serve_jobs_submitted_total", {},
+                              "Jobs whose arrival reached the service");
+    m_admitted_ = &r.counter("ghs_serve_jobs_admitted_total", {},
+                             "Jobs accepted into the admission queue");
+    m_rejected_ = &r.counter("ghs_serve_jobs_rejected_total", {},
+                             "Jobs shed by admission-queue backpressure");
+    m_completed_ = &r.counter("ghs_serve_jobs_completed_total", {},
+                              "Jobs served to completion");
+    m_queue_depth_ = &r.gauge("ghs_serve_queue_depth", {},
+                              "Jobs currently waiting in the admission queue");
+    const telemetry::Labels policy_label = {{"policy", policy_->name()}};
+    m_latency_ms_ = &r.histogram(
+        "ghs_serve_latency_ms", telemetry::default_latency_buckets_ms(),
+        policy_label, "Arrival-to-completion latency in milliseconds");
+    m_queue_wait_ms_ = &r.histogram(
+        "ghs_serve_queue_wait_ms", telemetry::default_latency_buckets_ms(),
+        policy_label, "Arrival-to-dispatch wait in milliseconds");
+  }
 }
 
 void ReductionService::submit(const Job& job) {
@@ -105,8 +130,15 @@ void ReductionService::run() { sim_.run(); }
 
 void ReductionService::on_arrival(const Job& job) {
   ++submitted_;
+  if (m_submitted_ != nullptr) m_submitted_->inc();
   if (!queue_.push(job)) {
     rejected_.push_back(job);
+    if (m_rejected_ != nullptr) m_rejected_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(sim_.now(), "serve", "rejection",
+                      std::string(workload::case_spec(job.case_id).name) +
+                          " job " + std::to_string(job.id));
+    }
     if (tracer_ != nullptr) {
       tracer_->mark(trace::Track::kServer,
                     std::string("reject ") +
@@ -115,7 +147,21 @@ void ReductionService::on_arrival(const Job& job) {
     }
     return;
   }
+  if (m_admitted_ != nullptr) m_admitted_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "serve", "admission",
+                    std::string(workload::case_spec(job.case_id).name) +
+                        " job " + std::to_string(job.id) +
+                        (job.unified ? " unified" : ""));
+  }
+  update_queue_gauge();
   dispatch_all();
+}
+
+void ReductionService::update_queue_gauge() {
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
+  }
 }
 
 void ReductionService::dispatch_all() {
@@ -139,6 +185,7 @@ void ReductionService::dispatch(Placement device) {
              batch.size() < static_cast<std::size_t>(opts.max_jobs)) {
         const Job& candidate = queue_.at(i);
         if (candidate.case_id == batch.front().case_id &&
+            candidate.unified == batch.front().unified &&
             candidate.elements <= opts.small_elements &&
             total + candidate.elements <= opts.max_batch_elements) {
           total += candidate.elements;
@@ -151,11 +198,17 @@ void ReductionService::dispatch(Placement device) {
     const core::ReduceTuning tuning = device == Placement::kGpu
                                           ? policy_->geometry(batch.front())
                                           : core::ReduceTuning{};
+    update_queue_gauge();
     pool_.launch(device, std::move(batch), tuning,
                  [this](Placement completed_on,
                         const std::vector<JobRecord>& records) {
                    for (const auto& record : records) {
                      records_.push_back(record);
+                     if (m_completed_ != nullptr) m_completed_->inc();
+                     if (m_latency_ms_ != nullptr) {
+                       m_latency_ms_->observe(to_ms(record.latency()));
+                       m_queue_wait_ms_->observe(to_ms(record.queue_wait()));
+                     }
                      if (on_complete_) on_complete_(record);
                    }
                    (void)completed_on;
@@ -192,6 +245,7 @@ ServiceReport ReductionService::report() const {
     latency_ms.push_back(to_ms(record.latency()));
     wait_ms.push_back(to_ms(record.queue_wait()));
     report.bytes_served += record.job.bytes();
+    if (record.job.unified) ++report.um_jobs;
     if (record.deadline_missed()) ++report.deadline_missed;
   }
   report.makespan = last_completion - first_arrival;

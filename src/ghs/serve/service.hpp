@@ -21,6 +21,8 @@
 #include "ghs/sim/simulator.hpp"
 #include "ghs/stats/series.hpp"
 #include "ghs/stats/summary.hpp"
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/trace/tracer.hpp"
 
 namespace ghs::serve {
@@ -32,6 +34,9 @@ struct ServiceOptions {
   /// there are unaffected).
   bool use_cpu = true;
   BatchOptions batching;
+  /// Metric instruments + flight recorder for the service, its pool, and
+  /// its simulator (null members disable).
+  telemetry::Sink telemetry;
 };
 
 /// Latency-style distribution in milliseconds.
@@ -39,7 +44,7 @@ struct LatencyStats {
   std::size_t count = 0;
   double mean_ms = 0.0;
   double max_ms = 0.0;
-  stats::Percentiles pct;  // p50/p95/p99
+  stats::Percentiles pct;  // p50/p95/p99/p999
 };
 
 LatencyStats make_latency_stats(const std::vector<double>& ms);
@@ -55,6 +60,8 @@ struct ServiceReport {
   std::int64_t batched_jobs = 0;
   std::int64_t gpu_jobs = 0;
   std::int64_t cpu_jobs = 0;
+  /// Jobs served through managed (unified) memory.
+  std::int64_t um_jobs = 0;
   std::size_t queue_high_watermark = 0;
   /// First arrival to last completion.
   SimTime makespan = 0;
@@ -107,6 +114,7 @@ class ReductionService {
   void on_arrival(const Job& job);
   void dispatch_all();
   void dispatch(Placement device);
+  void update_queue_gauge();
 
   std::unique_ptr<SchedulerPolicy> policy_;
   ServiceModel& model_;
@@ -119,6 +127,14 @@ class ReductionService {
   std::vector<Job> rejected_;
   std::function<void(const JobRecord&)> on_complete_;
   std::int64_t submitted_ = 0;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Counter* m_submitted_ = nullptr;
+  telemetry::Counter* m_admitted_ = nullptr;
+  telemetry::Counter* m_rejected_ = nullptr;
+  telemetry::Counter* m_completed_ = nullptr;
+  telemetry::Gauge* m_queue_depth_ = nullptr;
+  telemetry::Histogram* m_latency_ms_ = nullptr;
+  telemetry::Histogram* m_queue_wait_ms_ = nullptr;
 };
 
 }  // namespace ghs::serve

@@ -32,6 +32,7 @@ SimTime ServiceModel::gpu_service(workload::CaseId case_id,
   }
   ++misses_;
   core::Platform platform(options_.config);
+  if (options_.telemetry) platform.set_telemetry(options_.telemetry);
   core::GpuBenchmark bench;
   bench.case_id = case_id;
   bench.tuning = tuning;
@@ -40,6 +41,43 @@ SimTime ServiceModel::gpu_service(workload::CaseId case_id,
   const auto result = core::run_gpu_benchmark(platform, bench);
   cache_[key] = result.elapsed;
   return result.elapsed;
+}
+
+SimTime ServiceModel::unified_gpu_service(workload::CaseId case_id,
+                                          std::int64_t elements,
+                                          const core::ReduceTuning& tuning) {
+  const Key key{2,
+                static_cast<int>(case_id),
+                elements,
+                tuning.teams,
+                tuning.thread_limit,
+                tuning.v,
+                static_cast<int>(tuning.strategy)};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  core::Platform platform(options_.config);
+  if (options_.telemetry) platform.set_telemetry(options_.telemetry);
+  // GPU-only point (p = 0) of the Listing 8 protocol, allocation-site A2:
+  // pages first-touch in LPDDR, so repetition one pays the fault-driven
+  // migration and repetition two streams from HBM. Two repetitions halve
+  // into the amortised per-service cost.
+  core::HeteroBenchmark bench;
+  bench.case_id = case_id;
+  bench.tuning = tuning;
+  bench.site = core::AllocSite::kA2;
+  bench.cpu_parts = {0.0};
+  bench.elements = elements;
+  bench.iterations = 2;
+  bench.cpu_threads = options_.cpu_threads;
+  bench.cpu_simd = options_.cpu_simd;
+  const auto result = core::run_hetero_benchmark(platform, bench);
+  const SimTime duration = result.at(0.0).elapsed / bench.iterations;
+  GHS_REQUIRE(duration > 0, "unified pricing produced no duration");
+  cache_[key] = duration;
+  return duration;
 }
 
 SimTime ServiceModel::cpu_service(workload::CaseId case_id,
@@ -52,6 +90,7 @@ SimTime ServiceModel::cpu_service(workload::CaseId case_id,
   ++misses_;
   const auto& spec = workload::case_spec(case_id);
   core::Platform platform(options_.config);
+  if (options_.telemetry) platform.set_telemetry(options_.telemetry);
   cpu::CpuReduceRequest request;
   request.label = spec.name;
   request.elements = elements;

@@ -16,6 +16,7 @@
 
 #include "ghs/core/reduce.hpp"
 #include "ghs/core/system_config.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/workload/cases.hpp"
 
 namespace ghs::serve {
@@ -25,6 +26,9 @@ struct ServiceModelOptions {
   /// Host threads a CPU-placed job reduces with.
   int cpu_threads = 72;
   bool cpu_simd = true;
+  /// Instruments the pricing platforms and (through the policies that hold
+  /// the model) the tuner; null members disable.
+  telemetry::Sink telemetry;
 };
 
 class ServiceModel {
@@ -40,6 +44,13 @@ class ServiceModel {
   /// the configured thread count (input resident in LPDDR).
   SimTime cpu_service(workload::CaseId case_id, std::int64_t elements);
 
+  /// Duration of one GPU repetition over a *managed* buffer whose pages
+  /// start CPU-resident (allocation-site A2): the cost amortises the
+  /// fault-driven migration the first pass triggers with one warm pass,
+  /// matching a tenant that reuses its buffer.
+  SimTime unified_gpu_service(workload::CaseId case_id, std::int64_t elements,
+                              const core::ReduceTuning& tuning);
+
   const ServiceModelOptions& options() const { return options_; }
 
   /// Shape-cache effectiveness (one miss = one substrate simulation).
@@ -47,7 +58,8 @@ class ServiceModel {
   std::int64_t misses() const { return misses_; }
 
  private:
-  // (device, case, elements, teams, thread_limit, v, strategy); CPU entries
+  // (device, case, elements, teams, thread_limit, v, strategy); device is
+  // 0 = explicit-map GPU, 1 = CPU, 2 = unified-memory GPU. CPU entries
   // zero the geometry fields.
   using Key = std::tuple<int, int, std::int64_t, std::int64_t, int, int, int>;
 

@@ -22,6 +22,10 @@ bool Simulator::step() {
   const SimTime t = queue_.next_time();
   EventFn fn = queue_.pop();
   GHS_CHECK(t >= now_, "clock would move backwards");
+  if (events_counter_ != nullptr) {
+    events_counter_->inc();
+    advanced_counter_->inc(t - now_);
+  }
   now_ = t;
   ++events_processed_;
   fn();
@@ -38,8 +42,24 @@ bool Simulator::run_until(SimTime deadline) {
     step();
   }
   if (queue_.empty()) return true;
+  if (advanced_counter_ != nullptr && deadline > now_) {
+    advanced_counter_->inc(deadline - now_);
+  }
   now_ = deadline;
   return false;
+}
+
+void Simulator::set_telemetry(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    events_counter_ = nullptr;
+    advanced_counter_ = nullptr;
+    return;
+  }
+  events_counter_ = &registry->counter(
+      "ghs_sim_events_total", {}, "Discrete events executed by the simulator");
+  advanced_counter_ = &registry->counter(
+      "ghs_sim_advanced_ps_total", {},
+      "Simulated picoseconds the event clock has advanced");
 }
 
 }  // namespace ghs::sim

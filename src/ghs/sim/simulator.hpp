@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "ghs/sim/event_queue.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/util/units.hpp"
 
 namespace ghs::sim {
@@ -33,10 +34,16 @@ class Simulator {
   std::size_t events_processed() const { return events_processed_; }
   bool idle() const { return queue_.empty(); }
 
+  /// Registers the event/clock counters (null disables). Counters are
+  /// shared by identity, so platforms wired to one registry accumulate.
+  void set_telemetry(telemetry::Registry* registry);
+
  private:
   SimTime now_ = 0;
   EventQueue queue_;
   std::size_t events_processed_ = 0;
+  telemetry::Counter* events_counter_ = nullptr;
+  telemetry::Counter* advanced_counter_ = nullptr;
 };
 
 }  // namespace ghs::sim

@@ -57,33 +57,64 @@ double arithmetic_mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
-namespace {
-
-// Percentile of an already-sorted vector (the interpolation percentile()
-// documents).
-double sorted_percentile(const std::vector<double>& values, double q) {
-  const double idx = q * static_cast<double>(values.size() - 1);
+double sorted_quantile(const std::vector<double>& sorted_values, double q) {
+  GHS_REQUIRE(!sorted_values.empty(), "quantile of empty vector");
+  GHS_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
+  const double idx = q * static_cast<double>(sorted_values.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
-  const auto hi = std::min(lo + 1, values.size() - 1);
+  const auto hi = std::min(lo + 1, sorted_values.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
+  return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac;
 }
-
-}  // namespace
 
 double percentile(std::vector<double> values, double q) {
   GHS_REQUIRE(!values.empty(), "percentile of empty vector");
-  GHS_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
   std::sort(values.begin(), values.end());
-  return sorted_percentile(values, q);
+  return sorted_quantile(values, q);
+}
+
+std::vector<double> quantiles(std::vector<double> values,
+                              const std::vector<double>& qs) {
+  GHS_REQUIRE(!values.empty(), "quantiles of empty vector");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(sorted_quantile(values, q));
+  return out;
+}
+
+double histogram_quantile(const std::vector<double>& upper_bounds,
+                          const std::vector<std::int64_t>& cumulative_counts,
+                          double q) {
+  GHS_REQUIRE(!upper_bounds.empty(), "histogram without buckets");
+  GHS_REQUIRE(cumulative_counts.size() == upper_bounds.size() + 1,
+              "cumulative counts must carry one trailing +Inf entry");
+  GHS_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
+  const double total = static_cast<double>(cumulative_counts.back());
+  GHS_REQUIRE(total > 0.0, "histogram quantile of empty histogram");
+  const double rank = q * total;
+  std::size_t bucket = 0;
+  while (bucket < upper_bounds.size() &&
+         static_cast<double>(cumulative_counts[bucket]) < rank) {
+    ++bucket;
+  }
+  // Everything at rank beyond the last finite bound clamps to that bound —
+  // the +Inf bucket has no upper edge to interpolate towards.
+  if (bucket == upper_bounds.size()) return upper_bounds.back();
+  const double below =
+      bucket == 0 ? 0.0 : static_cast<double>(cumulative_counts[bucket - 1]);
+  const double in_bucket =
+      static_cast<double>(cumulative_counts[bucket]) - below;
+  const double lower = bucket == 0 ? 0.0 : upper_bounds[bucket - 1];
+  const double frac =
+      in_bucket > 0.0 ? (rank - below) / in_bucket : 1.0;
+  // Within-bucket interpolation is the same primitive as value quantiles.
+  return sorted_quantile({lower, upper_bounds[bucket]}, frac);
 }
 
 Percentiles percentiles(std::vector<double> values) {
-  GHS_REQUIRE(!values.empty(), "percentiles of empty vector");
-  std::sort(values.begin(), values.end());
-  return Percentiles{sorted_percentile(values, 0.50),
-                     sorted_percentile(values, 0.95),
-                     sorted_percentile(values, 0.99)};
+  const auto qs = quantiles(std::move(values), {0.50, 0.95, 0.99, 0.999});
+  return Percentiles{qs[0], qs[1], qs[2], qs[3]};
 }
 
 }  // namespace ghs::stats

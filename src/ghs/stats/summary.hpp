@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ghs::stats {
@@ -36,14 +37,34 @@ double arithmetic_mean(const std::vector<double>& values);
 /// Exact percentile by sorting a copy (q in [0,1], linear interpolation).
 double percentile(std::vector<double> values, double q);
 
+/// The interpolation primitive behind percentile()/quantiles() and the
+/// telemetry histogram exporter: quantile of already-ascending values,
+/// linear between neighbours.
+double sorted_quantile(const std::vector<double>& sorted_values, double q);
+
+/// Quantiles at each q of `qs` (all in [0,1]) with one sort; requires
+/// non-empty values. Supports arbitrary lists, e.g. {0.5, 0.99, 0.999}.
+std::vector<double> quantiles(std::vector<double> values,
+                              const std::vector<double>& qs);
+
+/// Quantile estimate from fixed histogram buckets: `upper_bounds` are the
+/// ascending finite bucket bounds and `cumulative_counts` the cumulative
+/// per-bucket counts with one extra trailing +Inf entry (the total).
+/// Linear interpolation inside the crossing bucket; observations beyond the
+/// last finite bound clamp to it. Requires a non-zero total.
+double histogram_quantile(const std::vector<double>& upper_bounds,
+                          const std::vector<std::int64_t>& cumulative_counts,
+                          double q);
+
 /// The latency-report percentile bundle (serve layer, benches).
 struct Percentiles {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
-/// p50/p95/p99 of `values` with one sort (same interpolation as
+/// p50/p95/p99/p999 of `values` with one sort (same interpolation as
 /// percentile()); requires non-empty input.
 Percentiles percentiles(std::vector<double> values);
 

@@ -1,0 +1,172 @@
+#include "ghs/telemetry/exporters.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ghs::telemetry {
+
+namespace {
+
+// One snprintf shape per role so output is byte-stable across runs.
+std::string fixed6(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+// Bucket bounds print compact ("0.05", "20"), matching Prometheus's
+// conventional le rendering.
+std::string compact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+// Splices an `le` label into an already-rendered label block.
+std::string with_le(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+void write_escaped_json(std::ostream& os, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Registry& registry,
+                      const ExportOptions& options) {
+  std::string last_name;
+  registry.visit([&](const Registry::View& view) {
+    if (view.volatile_instrument && !options.include_volatile) return;
+    if (view.name != last_name) {
+      last_name = view.name;
+      if (!view.help.empty()) {
+        os << "# HELP " << view.name << " ";
+        for (char c : view.help) {
+          if (c == '\\') {
+            os << "\\\\";
+          } else if (c == '\n') {
+            os << "\\n";
+          } else {
+            os << c;
+          }
+        }
+        os << "\n";
+      }
+      os << "# TYPE " << view.name << " " << kind_name(view.kind) << "\n";
+    }
+    switch (view.kind) {
+      case Kind::kCounter:
+        os << view.name << view.labels << " " << view.counter->value()
+           << "\n";
+        break;
+      case Kind::kGauge:
+        os << view.name << view.labels << " " << fixed6(view.gauge->value())
+           << "\n";
+        break;
+      case Kind::kHistogram: {
+        const auto& bounds = view.histogram->bounds();
+        const auto cumulative = view.histogram->cumulative_counts();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          os << view.name << "_bucket"
+             << with_le(view.labels, compact(bounds[i])) << " "
+             << cumulative[i] << "\n";
+        }
+        os << view.name << "_bucket" << with_le(view.labels, "+Inf") << " "
+           << cumulative.back() << "\n";
+        os << view.name << "_sum" << view.labels << " "
+           << fixed6(view.histogram->sum()) << "\n";
+        os << view.name << "_count" << view.labels << " "
+           << view.histogram->count() << "\n";
+        break;
+      }
+    }
+  });
+}
+
+void write_json_snapshot(std::ostream& os, const Registry& registry,
+                         const ExportOptions& options) {
+  // Three sections, each keyed by "name{labels}". The registry visits in
+  // sorted order, so every section's key order is stable.
+  std::vector<const char*> sections = {"counters", "gauges", "histograms"};
+  os << "{";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const Kind kind = s == 0   ? Kind::kCounter
+                      : s == 1 ? Kind::kGauge
+                               : Kind::kHistogram;
+    if (s > 0) os << ",";
+    os << "\"" << sections[s] << "\":{";
+    bool first = true;
+    registry.visit([&](const Registry::View& view) {
+      if (view.kind != kind) return;
+      if (view.volatile_instrument && !options.include_volatile) return;
+      if (!first) os << ",";
+      first = false;
+      os << "\"";
+      write_escaped_json(os, view.name + view.labels);
+      os << "\":";
+      switch (kind) {
+        case Kind::kCounter:
+          os << view.counter->value();
+          break;
+        case Kind::kGauge:
+          os << fixed6(view.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const auto& bounds = view.histogram->bounds();
+          const auto cumulative = view.histogram->cumulative_counts();
+          os << "{\"count\":" << view.histogram->count()
+             << ",\"sum\":" << fixed6(view.histogram->sum())
+             << ",\"buckets\":{";
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            os << "\"" << compact(bounds[i]) << "\":" << cumulative[i]
+               << ",";
+          }
+          os << "\"+Inf\":" << cumulative.back() << "}}";
+          break;
+        }
+      }
+    });
+    os << "}";
+  }
+  os << "}";
+}
+
+stats::Table to_table(const Registry& registry,
+                      const ExportOptions& options) {
+  stats::Table table({"instrument", "type", "value"});
+  registry.visit([&](const Registry::View& view) {
+    if (view.volatile_instrument && !options.include_volatile) return;
+    std::string value;
+    switch (view.kind) {
+      case Kind::kCounter:
+        value = std::to_string(view.counter->value());
+        break;
+      case Kind::kGauge:
+        value = fixed6(view.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const auto* h = view.histogram;
+        value = "count=" + std::to_string(h->count());
+        if (h->count() > 0) {
+          value += " mean=" +
+                   fixed6(h->sum() / static_cast<double>(h->count()));
+          value += " p50=" + fixed6(h->quantile(0.50));
+          value += " p95=" + fixed6(h->quantile(0.95));
+          value += " p99=" + fixed6(h->quantile(0.99));
+          value += " p999=" + fixed6(h->quantile(0.999));
+        }
+        break;
+      }
+    }
+    table.add_row({view.name + view.labels, kind_name(view.kind), value});
+  });
+  return table;
+}
+
+}  // namespace ghs::telemetry

@@ -1,0 +1,77 @@
+#include "ghs/telemetry/flight_recorder.hpp"
+
+#include <utility>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::telemetry {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  GHS_REQUIRE(capacity_ > 0, "flight recorder needs capacity >= 1");
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(SimTime at, std::string layer, std::string kind,
+                            std::string detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event event{at, std::move(layer), std::move(kind), std::move(detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::int64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::int64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - static_cast<std::int64_t>(ring_.size());
+}
+
+std::vector<Event> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  const auto snapshot = events();
+  std::int64_t lost = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lost = total_ - static_cast<std::int64_t>(ring_.size());
+  }
+  os << "flight recorder: " << snapshot.size() << " events";
+  if (lost > 0) os << " (" << lost << " older events dropped)";
+  os << "\n";
+  for (const auto& event : snapshot) {
+    os << "  [" << format_time(event.at) << "] " << event.layer << " "
+       << event.kind;
+    if (!event.detail.empty()) os << " " << event.detail;
+    os << "\n";
+  }
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace ghs::telemetry

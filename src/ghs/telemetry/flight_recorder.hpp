@@ -1,0 +1,74 @@
+// Flight recorder: a bounded ring buffer of structured events (admissions,
+// rejections, device launches, page migrations, tuner cache hits/misses)
+// that the layers append to as they run. Unlike the tracer — which keeps
+// every span for offline visualisation — the recorder keeps only the last
+// `capacity` events, so it can stay enabled for arbitrarily long runs and
+// be dumped on error or on demand, black-box style.
+//
+// Timestamps are the *recording layer's* simulated clock; sources that run
+// on separate Platforms (tuner probes, service-model pricing) each start at
+// t=0, so the layer tag, not the timestamp, orders events across sources.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::telemetry {
+
+struct Event {
+  SimTime at = 0;       // the recording layer's simulated clock
+  std::string layer;    // "serve", "um", "gpu", "tuner", ...
+  std::string kind;     // "admit", "reject", "launch", "migrate", ...
+  std::string detail;   // free-form, e.g. "C2 x3 @GPU launch 7"
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(SimTime at, std::string layer, std::string kind,
+              std::string detail = {});
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  std::size_t size() const;
+  /// Events ever recorded, including overwritten ones.
+  std::int64_t total_recorded() const;
+  /// Events lost to the ring bound (total_recorded - size).
+  std::int64_t dropped() const;
+
+  /// Snapshot, oldest first.
+  std::vector<Event> events() const;
+
+  /// Human dump: one `[time] layer kind detail` line per event, oldest
+  /// first, with a header noting drops.
+  void dump(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;    // grows to capacity_, then wraps
+  std::size_t next_ = 0;       // ring_[next_] is the oldest once wrapped
+  std::int64_t total_ = 0;
+};
+
+/// Null-safe helper mirroring trace::record_span.
+inline void record_event(FlightRecorder* recorder, SimTime at,
+                         const char* layer, const char* kind,
+                         std::string detail = {}) {
+  if (recorder != nullptr) {
+    recorder->record(at, layer, kind, std::move(detail));
+  }
+}
+
+}  // namespace ghs::telemetry

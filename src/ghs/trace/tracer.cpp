@@ -1,5 +1,7 @@
 #include "ghs/trace/tracer.hpp"
 
+#include <cstdio>
+
 #include "ghs/util/error.hpp"
 
 namespace ghs::trace {
@@ -54,9 +56,26 @@ void write_escaped(std::ostream& os, const std::string& text) {
       case '\n':
         os << "\\n";
         break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          os << ' ';
+          // Remaining control characters have no short escape; \uXXXX keeps
+          // the byte instead of silently replacing it.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
         } else {
           os << c;
         }

@@ -48,13 +48,77 @@ AllocId UmManager::allocate(Bytes size, mem::RegionId first_touch,
       static_cast<std::size_t>(ceil_div(size, policy_.page_size));
   a.pages.assign(n_pages, Page{first_touch, 0, 0, false});
   allocations_.push_back(std::move(a));
+  if (telemetry::Gauge* g = residency_gauge(first_touch)) {
+    g->add(static_cast<double>(size));
+  }
   return static_cast<AllocId>(allocations_.size() - 1);
 }
 
 void UmManager::free(AllocId id) {
   Allocation& a = alloc(id);
+  if (m_resident_hbm_ != nullptr) {
+    for (std::size_t p = 0; p < a.pages.size(); ++p) {
+      const Bytes page_bytes =
+          std::min(static_cast<Bytes>(p + 1) * policy_.page_size, a.size) -
+          static_cast<Bytes>(p) * policy_.page_size;
+      residency_gauge(a.pages[p].residency)
+          ->add(-static_cast<double>(page_bytes));
+    }
+  }
   a.live = false;
   a.pages.clear();
+}
+
+void UmManager::set_telemetry(telemetry::Sink sink) {
+  flight_ = sink.flight;
+  if (sink.metrics == nullptr) {
+    m_fault_migrations_ = nullptr;
+    m_background_migrations_ = nullptr;
+    m_migrated_hbm_ = nullptr;
+    m_migrated_lpddr_ = nullptr;
+    m_remote_gpu_ = nullptr;
+    m_remote_cpu_ = nullptr;
+    m_duplicated_ = nullptr;
+    m_resident_hbm_ = nullptr;
+    m_resident_lpddr_ = nullptr;
+    return;
+  }
+  telemetry::Registry& r = *sink.metrics;
+  m_fault_migrations_ =
+      &r.counter("ghs_um_fault_migrations_total", {},
+                 "Fault-eager segments that flipped residency on access");
+  m_background_migrations_ =
+      &r.counter("ghs_um_background_migrations_total", {},
+                 "Background migrations started by the access counters");
+  m_migrated_hbm_ =
+      &r.counter("ghs_um_migrated_bytes_total", {{"dest", "hbm"}},
+                 "Bytes whose pages migrated, by destination tier");
+  m_migrated_lpddr_ =
+      &r.counter("ghs_um_migrated_bytes_total", {{"dest", "lpddr"}},
+                 "Bytes whose pages migrated, by destination tier");
+  m_remote_gpu_ =
+      &r.counter("ghs_um_remote_bytes_total", {{"accessor", "gpu"}},
+                 "Bytes served over NVLink-C2C instead of local memory");
+  m_remote_cpu_ =
+      &r.counter("ghs_um_remote_bytes_total", {{"accessor", "cpu"}},
+                 "Bytes served over NVLink-C2C instead of local memory");
+  m_duplicated_ = &r.counter("ghs_um_duplicated_bytes_total", {},
+                             "Read-mostly replica bytes established");
+  m_resident_hbm_ = &r.gauge("ghs_um_resident_bytes", {{"tier", "hbm"}},
+                             "Managed bytes currently resident, by tier");
+  m_resident_lpddr_ = &r.gauge("ghs_um_resident_bytes", {{"tier", "lpddr"}},
+                               "Managed bytes currently resident, by tier");
+}
+
+telemetry::Gauge* UmManager::residency_gauge(mem::RegionId region) const {
+  return region == mem::RegionId::kHbm ? m_resident_hbm_ : m_resident_lpddr_;
+}
+
+void UmManager::shift_residency(mem::RegionId from, mem::RegionId to,
+                                Bytes bytes) {
+  if (m_resident_hbm_ == nullptr || from == to || bytes == 0) return;
+  residency_gauge(from)->add(-static_cast<double>(bytes));
+  residency_gauge(to)->add(static_cast<double>(bytes));
 }
 
 Bytes UmManager::size(AllocId id) const { return alloc(id).size; }
@@ -200,6 +264,9 @@ std::vector<SegmentPlan> UmManager::plan_pass(AllocId id, Accessor accessor,
       auto& remote = accessor == Accessor::kGpu ? stats_.remote_bytes_gpu
                                                 : stats_.remote_bytes_cpu;
       remote += seg_len;
+      telemetry::Counter* counter =
+          accessor == Accessor::kGpu ? m_remote_gpu_ : m_remote_cpu_;
+      if (counter != nullptr) counter->inc(seg_len);
     }
 
     if (!plan.empty() && plan.back().source == d.source &&
@@ -231,6 +298,12 @@ std::vector<SegmentPlan> UmManager::plan_pass(AllocId id, Accessor accessor,
     for (const auto& seg : plan) {
       if (seg.migrate_on_access) {
         ++stats_.fault_migrations;
+        if (m_fault_migrations_ != nullptr) m_fault_migrations_->inc();
+        if (flight_ != nullptr) {
+          flight_->record(topology_.sim().now(), "um", "fault_migration",
+                          a.label + "[" + std::to_string(seg.offset) + "," +
+                              std::to_string(seg.offset + seg.length) + ")");
+        }
       }
     }
   }
@@ -248,10 +321,14 @@ void UmManager::start_background_migration(AllocId id, std::size_t first_page,
   GHS_CHECK(bytes > 0, "empty background migration");
   const mem::RegionId from = a.pages[first_page].residency;
   ++stats_.counter_migrations;
+  if (m_background_migrations_ != nullptr) m_background_migrations_->inc();
   std::ostringstream label;
   label << "um-migrate:" << a.label << "[" << begin << "," << end << ")->"
         << mem::region_name(destination);
   const SimTime started = topology_.sim().now();
+  if (flight_ != nullptr) {
+    flight_->record(started, "um", "migration_start", label.str());
+  }
   transfers_.migrate(
       bytes, from, destination,
       [this, id, begin, bytes, destination, started,
@@ -289,16 +366,20 @@ void UmManager::complete_duplication(AllocId id, Bytes offset, Bytes length) {
   Allocation& a = allocations_[id];
   if (!a.live) return;
   const auto [first, last] = page_span(a, offset, length);
+  Bytes fresh = 0;
   for (std::size_t p = first; p < last; ++p) {
     Page& page = a.pages[p];
     if (!page.duplicated) {
-      stats_.bytes_duplicated +=
+      const Bytes page_bytes =
           std::min(static_cast<Bytes>(p + 1) * policy_.page_size, a.size) -
           static_cast<Bytes>(p) * policy_.page_size;
+      stats_.bytes_duplicated += page_bytes;
+      fresh += page_bytes;
     }
     page.duplicated = true;
     page.migrating = false;
   }
+  if (fresh > 0 && m_duplicated_ != nullptr) m_duplicated_->inc(fresh);
 }
 
 Bytes UmManager::prefetch(AllocId id, Bytes offset, Bytes length,
@@ -363,6 +444,7 @@ void UmManager::complete_segment(AllocId id, Bytes offset, Bytes length,
   Allocation& a = allocations_[id];
   if (!a.live) return;  // allocation freed while a migration was in flight
   const auto [first, last] = page_span(a, offset, length);
+  Bytes moved = 0;
   for (std::size_t p = first; p < last; ++p) {
     Page& page = a.pages[p];
     if (page.residency != new_residency) {
@@ -374,12 +456,29 @@ void UmManager::complete_segment(AllocId id, Bytes offset, Bytes length,
       } else {
         stats_.bytes_migrated_to_lpddr += page_bytes;
       }
+      moved += page_bytes;
     }
     page.residency = new_residency;
     page.migrating = false;
     page.duplicated = false;  // moving a page collapses its replica
     page.gpu_passes = 0;
     page.cpu_passes = 0;
+  }
+  if (moved > 0) {
+    // Two tiers: everything that moved came from the other one.
+    const mem::RegionId source = new_residency == mem::RegionId::kHbm
+                                     ? mem::RegionId::kLpddr
+                                     : mem::RegionId::kHbm;
+    telemetry::Counter* counter = new_residency == mem::RegionId::kHbm
+                                      ? m_migrated_hbm_
+                                      : m_migrated_lpddr_;
+    if (counter != nullptr) counter->inc(moved);
+    shift_residency(source, new_residency, moved);
+    if (flight_ != nullptr) {
+      flight_->record(topology_.sim().now(), "um", "page_migration",
+                      a.label + ": " + format_bytes(moved) + " -> " +
+                          mem::region_name(new_residency));
+    }
   }
 }
 

@@ -16,6 +16,8 @@
 
 #include "ghs/mem/topology.hpp"
 #include "ghs/mem/transfer.hpp"
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
 #include "ghs/trace/tracer.hpp"
 #include "ghs/um/policy.hpp"
 #include "ghs/util/units.hpp"
@@ -121,6 +123,11 @@ class UmManager {
   /// Installs a span recorder for background migrations (null disables).
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Registers migration/residency instruments and the flight recorder
+  /// (null members disable). Residency gauges only track allocations made
+  /// after the call.
+  void set_telemetry(telemetry::Sink sink);
+
  private:
   struct Page {
     mem::RegionId residency = mem::RegionId::kLpddr;
@@ -150,10 +157,25 @@ class UmManager {
                                   std::size_t last_page,
                                   mem::RegionId destination);
 
+  /// Moves `bytes` of the residency gauges from one tier to another
+  /// (no-op when telemetry is off; `from == to` is allowed and a no-op).
+  void shift_residency(mem::RegionId from, mem::RegionId to, Bytes bytes);
+  telemetry::Gauge* residency_gauge(mem::RegionId region) const;
+
   mem::Topology& topology_;
   mem::TransferEngine& transfers_;
   UmPolicy policy_;
   trace::Tracer* tracer_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Counter* m_fault_migrations_ = nullptr;
+  telemetry::Counter* m_background_migrations_ = nullptr;
+  telemetry::Counter* m_migrated_hbm_ = nullptr;
+  telemetry::Counter* m_migrated_lpddr_ = nullptr;
+  telemetry::Counter* m_remote_gpu_ = nullptr;
+  telemetry::Counter* m_remote_cpu_ = nullptr;
+  telemetry::Counter* m_duplicated_ = nullptr;
+  telemetry::Gauge* m_resident_hbm_ = nullptr;
+  telemetry::Gauge* m_resident_lpddr_ = nullptr;
   std::vector<Allocation> allocations_;
   UmStats stats_;
 };

@@ -94,7 +94,67 @@ TEST(SummaryTest, PercentilesSingleValue) {
   EXPECT_DOUBLE_EQ(p.p50, 7.5);
   EXPECT_DOUBLE_EQ(p.p95, 7.5);
   EXPECT_DOUBLE_EQ(p.p99, 7.5);
+  EXPECT_DOUBLE_EQ(p.p999, 7.5);
   EXPECT_THROW(percentiles({}), Error);
+}
+
+TEST(SummaryTest, PercentilesIncludeP999) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(static_cast<double>(i));
+  const auto p = percentiles(v);
+  EXPECT_DOUBLE_EQ(p.p999, percentile(v, 0.999));
+  EXPECT_GT(p.p999, p.p99);
+}
+
+TEST(SummaryTest, QuantilesArbitraryListInOneSort) {
+  std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+  const auto qs = quantiles(v, {0.0, 0.5, 1.0, 0.25});
+  ASSERT_EQ(qs.size(), 4u);
+  EXPECT_DOUBLE_EQ(qs[0], 1.0);
+  EXPECT_DOUBLE_EQ(qs[1], 5.0);
+  EXPECT_DOUBLE_EQ(qs[2], 9.0);
+  EXPECT_DOUBLE_EQ(qs[3], percentile(v, 0.25));
+  EXPECT_TRUE(quantiles({1.0}, {}).empty());
+  EXPECT_THROW(quantiles({}, {0.5}), Error);
+  EXPECT_THROW(quantiles({1.0}, {1.5}), Error);
+}
+
+TEST(SummaryTest, SortedQuantileIsThePrimitive) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(sorted_quantile(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(sorted_quantile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(sorted, 1.0), 10.0);
+  EXPECT_THROW(sorted_quantile({}, 0.5), Error);
+  EXPECT_THROW(sorted_quantile(sorted, -0.1), Error);
+}
+
+TEST(SummaryTest, HistogramQuantileInterpolatesCrossingBucket) {
+  // Bounds (0,10] (10,20]; 4 observations in the first, 4 in the second.
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<std::int64_t> cumulative = {4, 8, 8};
+  // Median sits at the first/second bucket boundary.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, cumulative, 0.5), 10.0);
+  // q=1 lands at the top of the last populated finite bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, cumulative, 1.0), 20.0);
+  // Inside the second bucket the estimate interpolates between 10 and 20.
+  const double p75 = histogram_quantile(bounds, cumulative, 0.75);
+  EXPECT_GT(p75, 10.0);
+  EXPECT_LE(p75, 20.0);
+}
+
+TEST(SummaryTest, HistogramQuantileClampsOverflowToLastBound) {
+  // All mass in the +Inf bucket: the estimate clamps to the last finite
+  // bound instead of inventing an infinite latency.
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::int64_t> cumulative = {0, 0, 5};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, cumulative, 0.99), 2.0);
+}
+
+TEST(SummaryTest, HistogramQuantileRejectsBadInput) {
+  const std::vector<double> bounds = {1.0};
+  EXPECT_THROW(histogram_quantile(bounds, {0, 0}, 0.5), Error);  // total 0
+  EXPECT_THROW(histogram_quantile(bounds, {1}, 0.5), Error);  // size mismatch
+  EXPECT_THROW(histogram_quantile(bounds, {1, 1}, 1.5), Error);
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+#include "ghs/telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ghs::telemetry {
+namespace {
+
+TEST(FlightRecorderTest, KeepsEventsInOrder) {
+  FlightRecorder recorder(8);
+  recorder.record(100, "serve", "admit", "job 0");
+  recorder.record(200, "gpu", "launch", "C1 x2");
+  ASSERT_EQ(recorder.size(), 2u);
+  const auto events = recorder.events();
+  EXPECT_EQ(events[0].at, 100);
+  EXPECT_EQ(events[0].layer, "serve");
+  EXPECT_EQ(events[0].kind, "admit");
+  EXPECT_EQ(events[0].detail, "job 0");
+  EXPECT_EQ(events[1].layer, "gpu");
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST(FlightRecorderTest, RingDropsOldestFirst) {
+  FlightRecorder recorder(3);
+  for (int i = 0; i < 5; ++i) {
+    recorder.record(i, "um", "migrate", std::to_string(i));
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.total_recorded(), 5);
+  EXPECT_EQ(recorder.dropped(), 2);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest surviving event is #2; order is oldest first.
+  EXPECT_EQ(events[0].detail, "2");
+  EXPECT_EQ(events[2].detail, "4");
+}
+
+TEST(FlightRecorderTest, DumpMentionsDrops) {
+  FlightRecorder recorder(2);
+  for (int i = 0; i < 3; ++i) recorder.record(i, "sim", "step");
+  std::ostringstream oss;
+  recorder.dump(oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("sim step"), std::string::npos);
+  EXPECT_NE(text.find("2 events"), std::string::npos);
+  EXPECT_NE(text.find("(1 older events dropped)"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ClearResetsEverything) {
+  FlightRecorder recorder(4);
+  recorder.record(0, "serve", "admit");
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(FlightRecorderTest, NullSafeHelperIsANoOp) {
+  EXPECT_NO_THROW(record_event(nullptr, 0, "serve", "admit", "ignored"));
+  FlightRecorder recorder(4);
+  record_event(&recorder, 7, "tuner", "cache_miss", "C3");
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.events()[0].kind, "cache_miss");
+}
+
+}  // namespace
+}  // namespace ghs::telemetry

@@ -96,6 +96,26 @@ TEST(TracerTest, JsonEscapesSpecialCharacters) {
             std::string::npos);
 }
 
+TEST(TracerTest, JsonEscapesHostileSpanNames) {
+  // Control characters, quotes, and backslashes in a span name (or detail)
+  // must never produce invalid JSON — e.g. a job label that embeds a tab
+  // or newline from a config file.
+  Tracer tracer;
+  tracer.record(Track::kServer, "evil\t\"name\"\nwith\\stuff\x01", 0, 1,
+                "detail\rwith\fcontrols\b");
+  std::ostringstream oss;
+  tracer.write_chrome_json(oss);
+  const std::string json = oss.str();
+  EXPECT_NE(
+      json.find("evil\\t\\\"name\\\"\\nwith\\\\stuff\\u0001"),
+      std::string::npos);
+  EXPECT_NE(json.find("detail\\rwith\\fcontrols\\b"), std::string::npos);
+  // No raw control bytes survive into the output.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
 TEST(TracerTest, TrackNames) {
   EXPECT_STREQ(track_name(Track::kGpu), "GPU kernels");
   EXPECT_STREQ(track_name(Track::kUmMigration), "UM migration");
