@@ -1,17 +1,20 @@
-// Load generator for the ghs::serve request-serving layer.
+// Chaos load generator: serve_loadgen plus a fault::Injector.
 //
-// Synthesises a mixed C1-C4 workload (open-loop Poisson arrivals by
-// default, closed-loop with --closed), serves it under one or more
-// scheduler policies, and emits a JSON throughput/latency report:
+// Runs the same mixed C1-C4 workload through the reduction service while a
+// FaultPlan degrades the simulated hardware — transient kernel failures,
+// bandwidth brown-outs, device-down outages, migration stalls — and the
+// service defends itself with retries, circuit breakers, deadline-aware
+// shedding, and CPU fallback. The report is the serve_loadgen JSON format
+// with the fault-handling keys (retries, gpu_failures, breaker_opens,
+// shed, fallback_cpu_jobs) appended to each policy report:
 //
-//   $ ./bench/serve_loadgen                         # fifo vs sjf vs bandwidth
-//   $ ./bench/serve_loadgen --policy=bandwidth --rate=200000 --jobs=500
-//   $ ./bench/serve_loadgen --trace=serve.json      # Chrome-trace timeline
+//   $ ./bench/chaos_loadgen                        # built-in chaos plan
+//   $ ./bench/chaos_loadgen --plan=outage.plan --fault-seed=9
+//   $ ./bench/chaos_loadgen --policy=all --metrics-out=chaos.prom
 //
-// The report is one JSON object: "workload" echoes the generator settings,
-// "policies" holds one serve report per policy (p50/p95/p99 latency and
-// queue wait, rejected count, batching and placement counters), and
-// "comparison" contrasts bandwidth-aware against FIFO when both ran.
+// Every run asserts the zero-lost-jobs invariant: every submitted job is
+// served, rejected at admission, or shed — chaos never loses work. Two
+// runs from the same (plan, seed) emit byte-identical reports.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -19,6 +22,8 @@
 #include <sstream>
 #include <vector>
 
+#include "ghs/fault/injector.hpp"
+#include "ghs/fault/plan.hpp"
 #include "ghs/serve/loadgen.hpp"
 #include "ghs/serve/policy.hpp"
 #include "ghs/serve/service.hpp"
@@ -32,6 +37,18 @@ namespace {
 
 using namespace ghs;
 
+// Default chaos: a mid-run GPU outage (trips the breaker, forces CPU
+// fallback), a sprinkle of transient kernel faults, and a tail brown-out
+// with a migration stall for unified jobs. Sized against the default
+// open-loop workload (200 jobs at 100k jobs/s = ~2 ms of arrivals plus
+// queue drain).
+constexpr const char* kBuiltinPlan =
+    "# chaos_loadgen built-in plan\n"
+    "kernel-fault gpu p=0.02\n"
+    "device-down gpu from=1ms until=2500us\n"
+    "bandwidth gpu scale=0.5 from=3ms until=5ms\n"
+    "migration-stall scale=0.25 from=3ms until=5ms\n";
+
 struct RunSettings {
   bool closed = false;
   serve::OpenLoopOptions open;
@@ -42,12 +59,19 @@ struct RunSettings {
 
 serve::ServiceReport run_policy(const std::string& name,
                                 serve::ServiceModel& model,
+                                const fault::FaultPlan& plan,
+                                std::uint64_t fault_seed,
                                 const RunSettings& settings) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
+  // A fresh injector per policy run replays the chaos campaign from
+  // (plan, seed) for every policy, so reports are comparable and two
+  // invocations of this bench are byte-identical.
+  fault::Injector injector(plan, fault_seed, settings.service.telemetry);
+  serve::ServiceOptions options = settings.service;
+  options.injector = &injector;
   serve::ReductionService service(serve::make_policy(name, model), model,
-                                  settings.service,
-                                  tracing ? &tracer : nullptr);
+                                  options, tracing ? &tracer : nullptr);
   if (settings.closed) {
     serve::run_closed_loop(service, settings.closed_opts);
   } else {
@@ -55,22 +79,33 @@ serve::ServiceReport run_policy(const std::string& name,
     service.run();
   }
   if (tracing) {
-    // Last policy run wins the file; with --policy=all that is the
-    // bandwidth-aware timeline.
     std::ofstream out(settings.trace_path);
     GHS_REQUIRE(out.good(), "cannot write " << settings.trace_path);
     tracer.write_chrome_json(out);
   }
-  return service.report();
+  const auto report = service.report();
+  // Zero-lost-jobs invariant: chaos may delay, degrade, or shed work, but
+  // every admitted job must be accounted for.
+  GHS_CHECK(report.submitted ==
+                report.served + report.rejected + report.shed,
+            "lost jobs under " << name << ": submitted=" << report.submitted
+                               << " served=" << report.served
+                               << " rejected=" << report.rejected
+                               << " shed=" << report.shed);
+  return report;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Cli cli("serve_loadgen",
-          "open/closed-loop load generator for the reduction service");
+  Cli cli("chaos_loadgen",
+          "serve-layer load generator under a deterministic fault plan");
   const auto* policy =
-      cli.add_string("policy", "all", "all|fifo|sjf|bandwidth");
+      cli.add_string("policy", "fifo", "all|fifo|sjf|bandwidth");
+  const auto* plan_path = cli.add_string(
+      "plan", "", "fault-plan file (empty = built-in chaos plan)");
+  const auto* fault_seed =
+      cli.add_int("fault-seed", 7, "fault-injector RNG seed");
   const auto* rate =
       cli.add_double("rate", 100000.0, "open-loop arrival rate, jobs/s");
   const auto* jobs = cli.add_int("jobs", 200, "total jobs to submit");
@@ -94,6 +129,18 @@ int main(int argc, char** argv) {
   const auto* um_fraction = cli.add_double(
       "um-fraction", 0.0,
       "fraction of jobs over unified-memory buffers (GPU-only placement)");
+  const auto* max_attempts =
+      cli.add_int("max-attempts", 4, "launch attempts per job, incl. first");
+  const auto* retry_base_us =
+      cli.add_int("retry-base-us", 50, "retry backoff base, microseconds");
+  const auto* retry_cap_us =
+      cli.add_int("retry-cap-us", 2000, "retry backoff cap, microseconds");
+  const auto* retry_jitter = cli.add_double(
+      "retry-jitter", 0.25, "jitter fraction added to each backoff");
+  const auto* breaker_threshold = cli.add_int(
+      "breaker-threshold", 3, "consecutive failures that open the breaker");
+  const auto* breaker_open_us = cli.add_int(
+      "breaker-open-us", 500, "breaker cool-down before half-open probe");
   const auto* metrics_out = cli.add_string(
       "metrics-out", "",
       "write Prometheus metrics here (+ JSON snapshot at FILE.json)");
@@ -101,13 +148,15 @@ int main(int argc, char** argv) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // One registry accumulates across every policy run; null pointers keep
-  // telemetry free when --metrics-out was not given.
   telemetry::Registry registry;
   telemetry::FlightRecorder flight;
   const bool metrics = !metrics_out->empty();
   const telemetry::Sink sink =
       metrics ? telemetry::Sink{&registry, &flight} : telemetry::Sink{};
+
+  const fault::FaultPlan plan = plan_path->empty()
+                                    ? fault::parse_plan(kBuiltinPlan)
+                                    : fault::load_plan(*plan_path);
 
   RunSettings settings;
   settings.closed = *closed;
@@ -134,6 +183,13 @@ int main(int argc, char** argv) {
   settings.service.batching.enable = !*no_batch;
   settings.service.use_cpu = !*no_cpu;
   settings.service.telemetry = sink;
+  settings.service.retry.max_attempts = static_cast<int>(*max_attempts);
+  settings.service.retry.backoff_base = *retry_base_us * kMicrosecond;
+  settings.service.retry.backoff_cap = *retry_cap_us * kMicrosecond;
+  settings.service.retry.jitter = *retry_jitter;
+  settings.service.breaker.failure_threshold =
+      static_cast<int>(*breaker_threshold);
+  settings.service.breaker.open_duration = *breaker_open_us * kMicrosecond;
 
   std::vector<std::string> policies;
   if (*policy == "all") {
@@ -163,6 +219,11 @@ int main(int argc, char** argv) {
       << ",\"batching\":" << (settings.service.batching.enable ? "true"
                                                                : "false")
       << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false")
+      << "},\"fault\":{\"plan\":\""
+      << (plan_path->empty() ? "builtin" : *plan_path)
+      << "\",\"seed\":" << *fault_seed << ",\"specs\":" << plan.size()
+      << ",\"max_attempts\":" << *max_attempts
+      << ",\"breaker_threshold\":" << *breaker_threshold
       << "},\"policies\":[";
 
   serve::ServiceReport fifo_report;
@@ -170,7 +231,9 @@ int main(int argc, char** argv) {
   bool have_fifo = false;
   bool have_bandwidth = false;
   for (std::size_t i = 0; i < policies.size(); ++i) {
-    const auto report = run_policy(policies[i], model, settings);
+    const auto report =
+        run_policy(policies[i], model, plan,
+                   static_cast<std::uint64_t>(*fault_seed), settings);
     if (i > 0) out << ",";
     report.write_json(out);
     if (policies[i] == "fifo") {
@@ -194,8 +257,7 @@ int main(int argc, char** argv) {
   }
   if (metrics) {
     // Wall time is real-world and run-dependent, so the gauge is volatile:
-    // it shows up in the Prometheus exposition but not in the JSON
-    // snapshot, keeping same-seed snapshots byte-identical.
+    // present in the Prometheus exposition, absent from the JSON snapshot.
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wall_start;
     registry
@@ -211,8 +273,6 @@ int main(int argc, char** argv) {
 
   if (metrics) {
     {
-      // The exposition is a scrape, not a diff artefact, so it may carry
-      // the volatile wall-clock gauge; the snapshot stays deterministic.
       telemetry::ExportOptions scrape;
       scrape.include_volatile = true;
       std::ofstream prom(*metrics_out);

@@ -26,7 +26,7 @@ CommonCli::CommonCli(std::string program, std::string description,
 }
 
 CommonOptions CommonCli::parse(int argc, const char* const* argv) {
-  cli_.parse(argc, argv);
+  cli_.parse_or_exit(argc, argv);
   CommonOptions options;
   if (*cases_ == "all") {
     options.cases = workload::all_cases();

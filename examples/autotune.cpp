@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const auto* iters = cli.add_int("iters", 5, "repetitions per point");
   const auto* exhaustive = cli.add_flag(
       "exhaustive", "use the paper's full sweep instead of hill climbing");
-  cli.parse(argc, argv);
+  cli.parse_or_exit(argc, argv);
 
   const auto case_id = workload::parse_case(*case_name);
   const auto& spec = workload::case_spec(case_id);

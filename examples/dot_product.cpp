@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const auto* elements_opt =
       cli.add_int("elements", 1 << 28, "vector length (float32)");
   const auto* iters = cli.add_int("iters", 10, "timed repetitions");
-  cli.parse(argc, argv);
+  cli.parse_or_exit(argc, argv);
   const auto elements = static_cast<std::int64_t>(*elements_opt);
 
   core::Platform platform;

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace ghs;
   Cli cli("roofline", "latency slope vs DRAM ceiling for a case");
   const auto* case_name = cli.add_string("case", "C1", "C1|C2|C3|C4");
-  cli.parse(argc, argv);
+  cli.parse_or_exit(argc, argv);
   const auto case_id = workload::parse_case(*case_name);
   const auto& spec = workload::case_spec(case_id);
 

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   const auto* seed = cli.add_int("seed", 42, "workload seed");
   const auto* trace_path =
       cli.add_string("trace", "", "Chrome-trace file for the bandwidth run");
-  cli.parse(argc, argv);
+  cli.parse_or_exit(argc, argv);
 
   serve::OpenLoopOptions load;
   load.jobs = *jobs;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       "um-fraction", 0.25, "fraction of jobs on unified-memory buffers");
   const auto* events =
       cli.add_int("events", 20, "flight-recorder events to print");
-  cli.parse(argc, argv);
+  cli.parse_or_exit(argc, argv);
 
   // One registry + recorder, shared by every layer through the Sink. A
   // layer that never sees the sink stays uninstrumented — this is the same

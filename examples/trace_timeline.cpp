@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const auto* out_path = cli.add_string("out", "timeline.json",
                                         "output file (Chrome trace JSON)");
   const auto* p = cli.add_double("p", 0.3, "CPU fraction of the reduction");
-  cli.parse(argc, argv);
+  cli.parse_or_exit(argc, argv);
 
   core::Platform platform;
   auto& tracer = platform.enable_tracing();

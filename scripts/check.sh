@@ -8,6 +8,8 @@
 #   $ scripts/check.sh telemetry  # just the telemetry suite under ASan+UBSan
 #                                 # (fast gate for the registry's
 #                                 # concurrency contract)
+#   $ scripts/check.sh chaos      # fault-injection suite under ASan+UBSan
+#                                 # (breaker/injector/chaos-service tests)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,8 +37,14 @@ for config in "${configs[@]}"; do
       target=telemetry_tests
       test_regex=telemetry_tests
       ;;
+    chaos)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target="fault_tests serve_tests"
+      test_regex="fault_tests|serve_tests"
+      ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos)" >&2
       exit 2
       ;;
   esac
@@ -44,7 +52,8 @@ for config in "${configs[@]}"; do
   cmake -B "$dir" -S . "${flags[@]}"
   echo "==> build $config"
   if [[ -n "$target" ]]; then
-    cmake --build "$dir" -j "$jobs" --target "$target"
+    # shellcheck disable=SC2086  # $target may list several test binaries
+    cmake --build "$dir" -j "$jobs" --target $target
   else
     cmake --build "$dir" -j "$jobs"
   fi

@@ -13,7 +13,8 @@ Typical uses:
   $ scripts/metrics_diff.py --threshold=0.05 baseline.json candidate.json
 
 Exit status: 0 when the snapshots agree (within the threshold), 1 when any
-instrument regressed/appeared/disappeared, 2 on usage errors.
+instrument regressed/appeared/disappeared, 2 on usage errors — including a
+missing or malformed snapshot file.
 """
 
 import argparse
@@ -26,11 +27,13 @@ def load(path):
         with open(path, "r", encoding="utf-8") as fh:
             snapshot = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"error: cannot read snapshot {path}: {err}")
+        print(f"error: cannot read snapshot {path}: {err}", file=sys.stderr)
+        sys.exit(2)
     for section in ("counters", "gauges", "histograms"):
         if section not in snapshot:
-            sys.exit(f"error: {path} is not a telemetry snapshot "
-                     f"(missing '{section}')")
+            print(f"error: {path} is not a telemetry snapshot "
+                  f"(missing '{section}')", file=sys.stderr)
+            sys.exit(2)
     return snapshot
 
 

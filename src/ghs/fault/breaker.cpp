@@ -1,0 +1,81 @@
+#include "ghs/fault/breaker.hpp"
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::fault {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  GHS_UNREACHABLE("breaker state " << static_cast<int>(state));
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  GHS_REQUIRE(options_.failure_threshold > 0,
+              "failure_threshold=" << options_.failure_threshold);
+  GHS_REQUIRE(options_.open_duration > 0,
+              "open_duration=" << options_.open_duration);
+  GHS_REQUIRE(options_.close_threshold > 0,
+              "close_threshold=" << options_.close_threshold);
+}
+
+void CircuitBreaker::set_on_transition(TransitionHook hook) {
+  on_transition_ = std::move(hook);
+}
+
+void CircuitBreaker::transition(BreakerState to, SimTime at) {
+  const BreakerState from = state_;
+  if (from == to) return;
+  state_ = to;
+  if (to == BreakerState::kOpen) {
+    ++opens_;
+    opened_at_ = at;
+  }
+  if (to == BreakerState::kHalfOpen) half_open_successes_ = 0;
+  if (on_transition_) on_transition_(from, to, at);
+}
+
+bool CircuitBreaker::allow(SimTime now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      if (now >= probe_at()) {
+        transition(BreakerState::kHalfOpen, now);
+        return true;
+      }
+      return false;
+  }
+  GHS_UNREACHABLE("breaker state " << static_cast<int>(state_));
+}
+
+void CircuitBreaker::record_success(SimTime now) {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen &&
+      ++half_open_successes_ >= options_.close_threshold) {
+    transition(BreakerState::kClosed, now);
+  }
+}
+
+void CircuitBreaker::record_failure(SimTime now) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: straight back to open for another cool-down.
+    consecutive_failures_ = 0;
+    transition(BreakerState::kOpen, now);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    consecutive_failures_ = 0;
+    transition(BreakerState::kOpen, now);
+  }
+}
+
+}  // namespace ghs::fault

@@ -1,0 +1,147 @@
+#include "ghs/fault/injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace ghs::fault {
+
+namespace {
+
+std::string scale_detail(const char* what, double scale) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s x%.3f", what, scale);
+  return buf;
+}
+
+}  // namespace
+
+Injector::Injector(FaultPlan plan, std::uint64_t seed, telemetry::Sink sink)
+    : plan_(std::move(plan)), rng_(seed) {
+  flight_ = sink.flight;
+  if (sink.metrics != nullptr) {
+    telemetry::Registry& r = *sink.metrics;
+    for (const Target target : {Target::kGpu, Target::kCpu}) {
+      const telemetry::Labels labels = {{"device", target_name(target)}};
+      const auto index = static_cast<std::size_t>(target);
+      m_kernel_faults_[index] =
+          &r.counter("ghs_fault_kernel_failures_total", labels,
+                     "Transient kernel failures injected per device");
+      m_outage_faults_[index] =
+          &r.counter("ghs_fault_outage_failures_total", labels,
+                     "Launches failed by a device-down window");
+      m_slowed_[index] =
+          &r.counter("ghs_fault_slowed_launches_total", labels,
+                     "Launches served under a bandwidth brown-out");
+    }
+    m_stalled_ = &r.counter("ghs_fault_stalled_launches_total", {},
+                            "Unified launches under a migration stall");
+  }
+}
+
+bool Injector::kernel_fails(Target target, SimTime now) {
+  bool failed = false;
+  for (const auto& spec : plan_.kernel_faults) {
+    if (spec.target != target) continue;
+    if (!spec.window.unbounded() && !spec.window.contains(now)) continue;
+    if (spec.probability <= 0.0) continue;
+    if (spec.probability >= 1.0) {
+      failed = true;
+      continue;
+    }
+    // Every active fractional spec draws exactly once, even after another
+    // spec already failed the launch, so the RNG stream depends only on
+    // the (deterministic) sequence of launch times.
+    if (rng_.next_double() < spec.probability) failed = true;
+  }
+  if (failed) {
+    ++stats_.kernel_faults;
+    const auto index = static_cast<std::size_t>(target);
+    if (m_kernel_faults_[index] != nullptr) m_kernel_faults_[index]->inc();
+    telemetry::record_event(flight_, now, "fault", "kernel_fault",
+                            target_name(target));
+  }
+  return failed;
+}
+
+bool Injector::device_down(Target target, SimTime now) const {
+  for (const auto& outage : plan_.outages) {
+    if (outage.target == target && outage.window.contains(now)) return true;
+  }
+  return false;
+}
+
+bool Injector::outage_overlaps(Target target, SimTime begin,
+                               SimTime end) const {
+  for (const auto& outage : plan_.outages) {
+    if (outage.target == target && outage.window.overlaps(begin, end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double Injector::service_scale(Target target, SimTime now) const {
+  double scale = 1.0;
+  for (const auto& episode : plan_.bandwidth_episodes) {
+    if (episode.target != target) continue;
+    if (!episode.window.unbounded() && !episode.window.contains(now)) {
+      continue;
+    }
+    scale *= 1.0 / episode.scale;
+  }
+  return scale;
+}
+
+double Injector::migration_stall_scale(SimTime now) const {
+  double scale = 1.0;
+  for (const auto& episode : plan_.migration_stalls) {
+    if (!episode.window.unbounded() && !episode.window.contains(now)) {
+      continue;
+    }
+    scale *= 1.0 / episode.scale;
+  }
+  return scale;
+}
+
+void Injector::note_outage_fault(Target target, SimTime now) {
+  ++stats_.outage_faults;
+  const auto index = static_cast<std::size_t>(target);
+  if (m_outage_faults_[index] != nullptr) m_outage_faults_[index]->inc();
+  telemetry::record_event(flight_, now, "fault", "outage_fault",
+                          target_name(target));
+}
+
+void Injector::note_slowed_launch(Target target, SimTime now, double scale) {
+  ++stats_.slowed_launches;
+  const auto index = static_cast<std::size_t>(target);
+  if (m_slowed_[index] != nullptr) m_slowed_[index]->inc();
+  telemetry::record_event(
+      flight_, now, "fault", "slowdown",
+      std::string(target_name(target)) + " " + scale_detail("service", scale));
+}
+
+void Injector::note_stalled_launch(SimTime now, double scale) {
+  ++stats_.stalled_launches;
+  if (m_stalled_ != nullptr) m_stalled_->inc();
+  telemetry::record_event(flight_, now, "fault", "migration_stall",
+                          scale_detail("service", scale));
+}
+
+std::vector<SimTime> Injector::transitions() const {
+  std::vector<SimTime> times;
+  const auto add = [&times](const Window& window) {
+    if (window.unbounded()) return;
+    times.push_back(window.begin);
+    times.push_back(window.end);
+  };
+  for (const auto& spec : plan_.kernel_faults) add(spec.window);
+  for (const auto& episode : plan_.bandwidth_episodes) add(episode.window);
+  for (const auto& outage : plan_.outages) add(outage.window);
+  for (const auto& episode : plan_.migration_stalls) add(episode.window);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+}  // namespace ghs::fault

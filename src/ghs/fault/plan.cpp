@@ -1,0 +1,255 @@
+#include "ghs/fault/plan.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ghs/util/error.hpp"
+#include "ghs/util/strings.hpp"
+
+namespace ghs::fault {
+
+namespace {
+
+// "2ms" / "150us" / "1.5s" / "400ns" / "7000ps" -> SimTime picoseconds.
+SimTime parse_time(const std::string& text, int line_no) {
+  std::size_t unit = 0;
+  while (unit < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[unit])) != 0 ||
+          text[unit] == '.' || text[unit] == '-')) {
+    ++unit;
+  }
+  double value = 0.0;
+  bool parsed = false;
+  try {
+    std::size_t pos = 0;
+    value = std::stod(text.substr(0, unit), &pos);
+    parsed = pos == unit && unit > 0;
+  } catch (const std::exception&) {
+    parsed = false;
+  }
+  GHS_REQUIRE(parsed && value >= 0.0,
+              "fault plan line " << line_no << ": bad time '" << text << "'");
+  const std::string suffix = text.substr(unit);
+  double per_unit = 0.0;
+  if (suffix == "ps") {
+    per_unit = static_cast<double>(kPicosecond);
+  } else if (suffix == "ns") {
+    per_unit = static_cast<double>(kNanosecond);
+  } else if (suffix == "us") {
+    per_unit = static_cast<double>(kMicrosecond);
+  } else if (suffix == "ms") {
+    per_unit = static_cast<double>(kMillisecond);
+  } else if (suffix == "s") {
+    per_unit = static_cast<double>(kSecond);
+  } else {
+    GHS_REQUIRE(false, "fault plan line " << line_no << ": time '" << text
+                                          << "' needs a ps|ns|us|ms|s unit");
+  }
+  return static_cast<SimTime>(value * per_unit);
+}
+
+Target parse_target(const std::string& text, int line_no) {
+  if (text == "gpu") return Target::kGpu;
+  if (text == "cpu") return Target::kCpu;
+  GHS_REQUIRE(false, "fault plan line " << line_no << ": unknown target '"
+                                        << text << "' (gpu|cpu)");
+  return Target::kGpu;
+}
+
+// Splits "key=value" tokens into the window/probability/scale fields a
+// fault line may carry; unknown keys are an error so typos do not silently
+// arm a different fault.
+struct LineArgs {
+  Window window;
+  double probability = -1.0;  // < 0 = not given
+  double scale = -1.0;
+  bool has_window = false;
+};
+
+LineArgs parse_args(const std::vector<std::string>& tokens,
+                    std::size_t first, int line_no) {
+  LineArgs args;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    GHS_REQUIRE(eq != std::string::npos,
+                "fault plan line " << line_no << ": expected key=value, got '"
+                                   << tokens[i] << "'");
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "from") {
+      args.window.begin = parse_time(value, line_no);
+      args.has_window = true;
+    } else if (key == "until") {
+      args.window.end = parse_time(value, line_no);
+      args.has_window = true;
+    } else if (key == "p") {
+      try {
+        args.probability = std::stod(value);
+      } catch (const std::exception&) {
+        args.probability = -1.0;
+      }
+      GHS_REQUIRE(args.probability >= 0.0 && args.probability <= 1.0,
+                  "fault plan line " << line_no << ": p='" << value
+                                     << "' must be in [0, 1]");
+    } else if (key == "scale") {
+      try {
+        args.scale = std::stod(value);
+      } catch (const std::exception&) {
+        args.scale = -1.0;
+      }
+      GHS_REQUIRE(args.scale > 0.0 && args.scale <= 1.0,
+                  "fault plan line " << line_no << ": scale='" << value
+                                     << "' must be in (0, 1]");
+    } else {
+      GHS_REQUIRE(false, "fault plan line " << line_no << ": unknown key '"
+                                            << key << "'");
+    }
+  }
+  GHS_REQUIRE(!args.has_window || args.window.end > args.window.begin,
+              "fault plan line " << line_no << ": until must be after from");
+  return args;
+}
+
+std::string format_time(SimTime t) {
+  // Picoseconds render exactly, so format_plan round-trips through
+  // parse_plan without floating-point drift.
+  return std::to_string(t) + "ps";
+}
+
+std::string format_window(const Window& window) {
+  if (window.unbounded()) return "";
+  return " from=" + format_time(window.begin) +
+         " until=" + format_time(window.end);
+}
+
+std::string format_probability(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", p);
+  return buf;
+}
+
+}  // namespace
+
+const char* target_name(Target target) {
+  return target == Target::kGpu ? "gpu" : "cpu";
+}
+
+FaultPlan parse_plan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream words(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (words >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens.front();
+    if (kind == "kernel-fault") {
+      GHS_REQUIRE(tokens.size() >= 2, "fault plan line "
+                                          << line_no
+                                          << ": kernel-fault needs a target");
+      const auto args = parse_args(tokens, 2, line_no);
+      GHS_REQUIRE(args.scale < 0.0, "fault plan line "
+                                        << line_no
+                                        << ": kernel-fault takes no scale");
+      KernelFaultSpec spec;
+      spec.target = parse_target(tokens[1], line_no);
+      spec.probability = args.probability < 0.0 ? 1.0 : args.probability;
+      spec.window = args.window;
+      GHS_REQUIRE(args.has_window || args.probability >= 0.0,
+                  "fault plan line " << line_no
+                                     << ": kernel-fault needs p= or a "
+                                        "from=/until= window");
+      plan.kernel_faults.push_back(spec);
+    } else if (kind == "bandwidth") {
+      GHS_REQUIRE(tokens.size() >= 2,
+                  "fault plan line " << line_no << ": bandwidth needs a "
+                                                   "target");
+      const auto args = parse_args(tokens, 2, line_no);
+      GHS_REQUIRE(args.scale > 0.0, "fault plan line "
+                                        << line_no
+                                        << ": bandwidth needs scale=");
+      BandwidthEpisode episode;
+      episode.target = parse_target(tokens[1], line_no);
+      episode.scale = args.scale;
+      episode.window = args.window;
+      plan.bandwidth_episodes.push_back(episode);
+    } else if (kind == "device-down") {
+      GHS_REQUIRE(tokens.size() >= 2, "fault plan line "
+                                          << line_no
+                                          << ": device-down needs a target");
+      const auto args = parse_args(tokens, 2, line_no);
+      GHS_REQUIRE(args.has_window, "fault plan line "
+                                       << line_no
+                                       << ": device-down needs from=/until=");
+      OutageWindow outage;
+      outage.target = parse_target(tokens[1], line_no);
+      outage.window = args.window;
+      plan.outages.push_back(outage);
+    } else if (kind == "migration-stall") {
+      const auto args = parse_args(tokens, 1, line_no);
+      GHS_REQUIRE(args.scale > 0.0, "fault plan line "
+                                        << line_no
+                                        << ": migration-stall needs scale=");
+      MigrationStallEpisode episode;
+      episode.scale = args.scale;
+      episode.window = args.window;
+      plan.migration_stalls.push_back(episode);
+    } else if (kind == "error-latency") {
+      GHS_REQUIRE(tokens.size() == 2, "fault plan line "
+                                          << line_no
+                                          << ": error-latency <time>");
+      plan.down_error_latency = parse_time(tokens[1], line_no);
+    } else {
+      GHS_REQUIRE(false, "fault plan line "
+                             << line_no << ": unknown fault kind '" << kind
+                             << "' (kernel-fault|bandwidth|device-down|"
+                                "migration-stall|error-latency)");
+    }
+  }
+  return plan;
+}
+
+FaultPlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  GHS_REQUIRE(in.good(), "cannot read fault plan " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_plan(text.str());
+}
+
+std::string format_plan(const FaultPlan& plan) {
+  std::ostringstream out;
+  for (const auto& spec : plan.kernel_faults) {
+    out << "kernel-fault " << target_name(spec.target)
+        << " p=" << format_probability(spec.probability)
+        << format_window(spec.window) << "\n";
+  }
+  for (const auto& episode : plan.bandwidth_episodes) {
+    out << "bandwidth " << target_name(episode.target)
+        << " scale=" << format_probability(episode.scale)
+        << format_window(episode.window) << "\n";
+  }
+  for (const auto& outage : plan.outages) {
+    out << "device-down " << target_name(outage.target)
+        << format_window(outage.window) << "\n";
+  }
+  for (const auto& episode : plan.migration_stalls) {
+    out << "migration-stall scale=" << format_probability(episode.scale)
+        << format_window(episode.window) << "\n";
+  }
+  if (plan.down_error_latency != 10 * kMicrosecond) {
+    out << "error-latency " << format_time(plan.down_error_latency) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ghs::fault

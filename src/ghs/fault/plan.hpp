@@ -1,0 +1,112 @@
+// Declarative fault plans for chaos campaigns against the serving layer.
+//
+// A FaultPlan is data, not behaviour: it lists *when* and *how* the
+// simulated hardware degrades — transient kernel failures (per-launch
+// probability or scheduled windows), bandwidth brown-outs (a device's
+// effective GB/s scaled down for a simulated interval), device-down
+// outages, and page-migration stalls for unified-memory jobs. The
+// fault::Injector interprets a plan against the simulator clock, so a
+// chaos run is replayable byte-for-byte from (plan, seed).
+//
+// Plans are written in a small line format (one fault per line, '#'
+// comments, times with a us/ms/s suffix):
+//
+//   kernel-fault gpu p=0.05                    # 5% of launches fail
+//   kernel-fault gpu from=2ms until=3ms        # every launch fails inside
+//   device-down gpu from=5ms until=8ms         # outage window
+//   bandwidth gpu scale=0.25 from=1ms until=4ms  # HBM at a quarter speed
+//   migration-stall scale=0.1 from=2ms until=6ms # UM migration 10x slower
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ghs/util/units.hpp"
+
+namespace ghs::fault {
+
+/// Processor a fault targets. Mirrors serve::Placement without depending on
+/// the serve layer, so the fault module sits below it.
+enum class Target : std::uint8_t { kGpu, kCpu };
+
+const char* target_name(Target target);
+
+/// Half-open simulated-time interval [begin, end).
+struct Window {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  bool contains(SimTime t) const { return t >= begin && t < end; }
+  bool overlaps(SimTime from, SimTime until) const {
+    return begin < until && from < end;
+  }
+  /// A zero-length window means "the whole run".
+  bool unbounded() const { return end <= begin; }
+};
+
+/// Transient kernel failure: launches on `target` fail with `probability`
+/// while the window is active (an unbounded window arms the fault for the
+/// whole run; probability 1.0 makes every launch inside the window fail
+/// without consuming randomness).
+struct KernelFaultSpec {
+  Target target = Target::kGpu;
+  double probability = 1.0;
+  Window window;
+};
+
+/// Bandwidth brown-out: the device's effective bandwidth is multiplied by
+/// `scale` (0 < scale <= 1) while the window is active, so service times
+/// stretch by 1/scale. Overlapping episodes compound.
+struct BandwidthEpisode {
+  Target target = Target::kGpu;
+  double scale = 0.5;
+  Window window;
+};
+
+/// Device-down outage: every launch that overlaps the window fails, and
+/// launches started while the device is down fail fast (the driver returns
+/// an error after `FaultPlan::down_error_latency`).
+struct OutageWindow {
+  Target target = Target::kGpu;
+  Window window;
+};
+
+/// Page-migration stall: unified-memory jobs served while the window is
+/// active see their migration-inclusive service stretched by 1/scale.
+struct MigrationStallEpisode {
+  double scale = 0.5;
+  Window window;
+};
+
+struct FaultPlan {
+  std::vector<KernelFaultSpec> kernel_faults;
+  std::vector<BandwidthEpisode> bandwidth_episodes;
+  std::vector<OutageWindow> outages;
+  std::vector<MigrationStallEpisode> migration_stalls;
+  /// How long a launch attempt on a down device takes to report its error.
+  SimTime down_error_latency = 10 * kMicrosecond;
+
+  bool empty() const {
+    return kernel_faults.empty() && bandwidth_episodes.empty() &&
+           outages.empty() && migration_stalls.empty();
+  }
+  /// Total fault entries across all kinds.
+  std::size_t size() const {
+    return kernel_faults.size() + bandwidth_episodes.size() +
+           outages.size() + migration_stalls.size();
+  }
+};
+
+/// Parses the line format documented above; throws ghs::Error with the
+/// offending line number on malformed input.
+FaultPlan parse_plan(const std::string& text);
+
+/// Reads and parses a plan file; throws ghs::Error on I/O failure.
+FaultPlan load_plan(const std::string& path);
+
+/// Renders the plan back into the line format (used by benches to echo the
+/// active plan into reports deterministically).
+std::string format_plan(const FaultPlan& plan);
+
+}  // namespace ghs::fault

@@ -1,5 +1,6 @@
 #include "ghs/serve/device_pool.hpp"
 
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -8,8 +9,13 @@
 namespace ghs::serve {
 
 DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
-                       trace::Tracer* tracer, telemetry::Sink sink)
-    : sim_(sim), model_(model), use_cpu_(use_cpu), tracer_(tracer) {
+                       trace::Tracer* tracer, telemetry::Sink sink,
+                       fault::Injector* injector)
+    : sim_(sim),
+      model_(model),
+      use_cpu_(use_cpu),
+      tracer_(tracer),
+      injector_(injector) {
   flight_ = sink.flight;
   if (sink.metrics != nullptr) {
     m_gpu_launches_ =
@@ -46,13 +52,45 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
   GHS_REQUIRE(!unified || device == Placement::kGpu,
               "unified jobs are GPU-only");
 
-  const SimTime service =
+  SimTime service =
       device == Placement::kGpu
           ? (unified
                  ? model_.unified_gpu_service(case_id, total_elements, tuning)
                  : model_.gpu_service(case_id, total_elements, tuning))
           : model_.cpu_service(case_id, total_elements);
   const SimTime begin = sim_.now();
+
+  // Fault interpretation, all decided at launch time so the outcome is a
+  // pure function of (plan, seed, launch sequence): a launch on a down
+  // device errors out fast; otherwise brown-outs stretch the service and
+  // the launch fails if an outage window overlaps it or a transient kernel
+  // fault fires.
+  bool failed = false;
+  const fault::Target target = device == Placement::kGpu
+                                   ? fault::Target::kGpu
+                                   : fault::Target::kCpu;
+  if (injector_ != nullptr) {
+    if (injector_->device_down(target, begin)) {
+      failed = true;
+      service = injector_->plan().down_error_latency;
+      injector_->note_outage_fault(target, begin);
+    } else {
+      const double scale = injector_->service_scale(target, begin);
+      const double stall =
+          unified ? injector_->migration_stall_scale(begin) : 1.0;
+      if (scale > 1.0) injector_->note_slowed_launch(target, begin, scale);
+      if (stall > 1.0) injector_->note_stalled_launch(begin, stall);
+      if (scale * stall > 1.0) {
+        service = static_cast<SimTime>(
+            std::llround(static_cast<double>(service) * scale * stall));
+      }
+      if (injector_->outage_overlaps(target, begin, begin + service)) {
+        failed = true;
+        injector_->note_outage_fault(target, begin);
+      }
+      if (injector_->kernel_fails(target, begin)) failed = true;
+    }
+  }
   const SimTime end = begin + service;
 
   const std::int64_t launch_id = next_launch_id_++;
@@ -74,16 +112,25 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
                     std::string(workload::case_spec(case_id).name) + " x" +
                         std::to_string(jobs.size()) + " @" +
                         placement_name(device) +
-                        (unified ? " unified" : ""));
+                        (unified ? " unified" : "") +
+                        (failed ? " FAIL" : ""));
   }
   if (device == Placement::kGpu) {
     gpu_busy_ = true;
-    stats_.gpu_jobs += static_cast<std::int64_t>(jobs.size());
     stats_.gpu_busy += service;
+    if (failed) {
+      ++stats_.gpu_failed_launches;
+    } else {
+      stats_.gpu_jobs += static_cast<std::int64_t>(jobs.size());
+    }
   } else {
     cpu_busy_ = true;
-    stats_.cpu_jobs += static_cast<std::int64_t>(jobs.size());
     stats_.cpu_busy += service;
+    if (failed) {
+      ++stats_.cpu_failed_launches;
+    } else {
+      stats_.cpu_jobs += static_cast<std::int64_t>(jobs.size());
+    }
   }
 
   if (tracer_ != nullptr) {
@@ -91,32 +138,38 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
     tracer_->record(trace::Track::kServer,
                     std::string(spec.name) + " x" +
                         std::to_string(jobs.size()) + " @" +
-                        placement_name(device),
+                        placement_name(device) + (failed ? " FAIL" : ""),
                     begin, end,
                     std::to_string(total_elements) + " elements, launch " +
                         std::to_string(launch_id));
   }
 
-  std::vector<JobRecord> records;
-  records.reserve(jobs.size());
-  for (const auto& job : jobs) {
-    JobRecord record;
-    record.job = job;
-    record.placement = device;
-    record.launch_id = launch_id;
-    record.start = begin;
-    record.completion = end;
-    records.push_back(record);
+  LaunchResult result;
+  result.device = device;
+  result.failed = failed;
+  if (failed) {
+    result.jobs = std::move(jobs);
+  } else {
+    result.records.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      JobRecord record;
+      record.job = job;
+      record.placement = device;
+      record.launch_id = launch_id;
+      record.start = begin;
+      record.completion = end;
+      result.records.push_back(record);
+    }
   }
 
-  sim_.schedule_at(end, [this, device, records = std::move(records),
+  sim_.schedule_at(end, [this, device, result = std::move(result),
                          on_complete = std::move(on_complete)]() {
     if (device == Placement::kGpu) {
       gpu_busy_ = false;
     } else {
       cpu_busy_ = false;
     }
-    on_complete(device, records);
+    on_complete(result);
   });
 }
 

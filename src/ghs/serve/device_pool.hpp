@@ -4,6 +4,12 @@
 // the per-launch runtime overhead exactly the way fusing tiny reductions
 // does on the real machine. Every launch is recorded as a Track::kServer
 // span so a served workload renders in the Chrome-trace timeline.
+//
+// With a fault::Injector attached the pool becomes the failure surface:
+// bandwidth brown-outs stretch a launch's service time, device-down
+// windows and transient kernel faults turn the completion into a failure,
+// and the service above decides what to do about it (retry, shed, trip the
+// breaker, fall back to the CPU).
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,7 @@
 #include <vector>
 
 #include "ghs/core/reduce.hpp"
+#include "ghs/fault/injector.hpp"
 #include "ghs/serve/job.hpp"
 #include "ghs/serve/service_model.hpp"
 #include "ghs/sim/simulator.hpp"
@@ -40,24 +47,40 @@ struct DevicePoolStats {
   std::int64_t cpu_jobs = 0;
   SimTime gpu_busy = 0;
   SimTime cpu_busy = 0;
+  /// Launches that failed (injected faults); their jobs are not counted in
+  /// gpu_jobs/cpu_jobs — only served work lands there.
+  std::int64_t gpu_failed_launches = 0;
+  std::int64_t cpu_failed_launches = 0;
+};
+
+/// Outcome of one launch: on success `records` carries one JobRecord per
+/// job; on failure the jobs come back unserved for the service to retry,
+/// shed, or re-place.
+struct LaunchResult {
+  Placement device = Placement::kGpu;
+  bool failed = false;
+  std::vector<JobRecord> records;  // success only
+  std::vector<Job> jobs;           // failure only
 };
 
 class DevicePool {
  public:
   /// With `use_cpu` false the pool is GPU-only (the CPU never reports
   /// idle), which lets single-device policies run on a matching machine.
+  /// `injector` (may be null) degrades launches per its FaultPlan.
   DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
-             trace::Tracer* tracer, telemetry::Sink sink = {});
+             trace::Tracer* tracer, telemetry::Sink sink = {},
+             fault::Injector* injector = nullptr);
 
   bool idle(Placement device) const;
   bool use_cpu() const { return use_cpu_; }
 
-  using Completion =
-      std::function<void(Placement, const std::vector<JobRecord>&)>;
+  using Completion = std::function<void(const LaunchResult&)>;
 
   /// Launches `jobs` as one unit on `device` starting at sim.now();
   /// `tuning` is the GPU geometry (ignored for CPU launches). Fires
-  /// `on_complete` with the finished records when service ends.
+  /// `on_complete` with the outcome when service (or failure detection)
+  /// ends.
   void launch(Placement device, std::vector<Job> jobs,
               const core::ReduceTuning& tuning, Completion on_complete);
 
@@ -68,6 +91,7 @@ class DevicePool {
   ServiceModel& model_;
   bool use_cpu_;
   trace::Tracer* tracer_;
+  fault::Injector* injector_;
   telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::Counter* m_gpu_launches_ = nullptr;
   telemetry::Counter* m_cpu_launches_ = nullptr;

@@ -31,6 +31,9 @@ struct Job {
   /// explicitly mapped one: service cost then includes the page migration
   /// the first GPU pass triggers. Unified jobs are GPU-only.
   bool unified = false;
+  /// Failed-launch retries already spent on this job (0 = first attempt).
+  /// Maintained by the service's retry machinery; tenants leave it at 0.
+  int attempt = 0;
 
   Bytes bytes() const {
     return elements * workload::case_spec(case_id).element_size;

@@ -1,7 +1,9 @@
 #include "ghs/serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "ghs/util/error.hpp"
 
@@ -39,6 +41,15 @@ void write_latency(std::ostream& os, const char* key,
   os << "}";
 }
 
+fault::Injector* effective_injector(fault::Injector* injector) {
+  if (injector == nullptr || injector->plan().empty()) return nullptr;
+  return injector;
+}
+
+int device_index(Placement device) {
+  return device == Placement::kGpu ? 0 : 1;
+}
+
 }  // namespace
 
 LatencyStats make_latency_stats(const std::vector<double>& ms) {
@@ -72,7 +83,15 @@ void ServiceReport::write_json(std::ostream& os) const {
   os << ",";
   write_latency(os, "queue_wait", queue_wait);
   os << ",\"tuner_hits\":" << tuner_hits
-     << ",\"tuner_misses\":" << tuner_misses << "}";
+     << ",\"tuner_misses\":" << tuner_misses;
+  // Fault keys only appear on fault-aware runs; an empty (or absent) plan
+  // keeps the report byte-identical to a fault-unaware build.
+  if (fault_aware) {
+    os << ",\"retries\":" << retries << ",\"gpu_failures\":" << gpu_failures
+       << ",\"breaker_opens\":" << breaker_opens << ",\"shed\":" << shed
+       << ",\"fallback_cpu_jobs\":" << fallback_cpu_jobs;
+  }
+  os << "}";
 }
 
 ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
@@ -84,8 +103,14 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
       options_(options),
       tracer_(tracer),
       queue_(options.queue_depth),
-      pool_(sim_, model, options.use_cpu, tracer, options.telemetry) {
+      injector_(effective_injector(options.injector)),
+      pool_(sim_, model, options.use_cpu, tracer, options.telemetry,
+            injector_),
+      gpu_breaker_(options.breaker),
+      cpu_breaker_(options.breaker),
+      retry_rng_(options.retry.jitter_seed) {
   GHS_REQUIRE(policy_ != nullptr, "null policy");
+  GHS_REQUIRE(options_.retry.max_attempts >= 1, "max_attempts must be >= 1");
   const telemetry::Sink& sink = options_.telemetry;
   flight_ = sink.flight;
   if (sink.metrics != nullptr) {
@@ -108,6 +133,43 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
     m_queue_wait_ms_ = &r.histogram(
         "ghs_serve_queue_wait_ms", telemetry::default_latency_buckets_ms(),
         policy_label, "Arrival-to-dispatch wait in milliseconds");
+    if (injector_ != nullptr) {
+      m_retries_ = &r.counter("ghs_serve_retry_attempts_total", {},
+                              "Failed-launch retries scheduled");
+      m_shed_ = &r.counter(
+          "ghs_serve_shed_jobs_total", {},
+          "Jobs dropped by the retry machinery (budget, deadline, requeue)");
+      m_fallback_ = &r.counter(
+          "ghs_serve_fallback_cpu_jobs_total", {},
+          "Jobs placed on the Grace CPU while the GPU breaker was open");
+      m_breaker_opens_[0] =
+          &r.counter("ghs_serve_breaker_opens_total", {{"device", "gpu"}},
+                     "Circuit-breaker trips to open");
+      m_breaker_opens_[1] =
+          &r.counter("ghs_serve_breaker_opens_total", {{"device", "cpu"}},
+                     "Circuit-breaker trips to open");
+      m_breaker_state_[0] = &r.gauge(
+          "ghs_serve_breaker_state", {{"device", "gpu"}},
+          "Circuit-breaker state (0 closed, 1 open, 2 half-open)");
+      m_breaker_state_[1] = &r.gauge(
+          "ghs_serve_breaker_state", {{"device", "cpu"}},
+          "Circuit-breaker state (0 closed, 1 open, 2 half-open)");
+    }
+  }
+  if (injector_ != nullptr) {
+    gpu_breaker_.set_on_transition(
+        [this](fault::BreakerState from, fault::BreakerState to, SimTime at) {
+          on_breaker_transition(Placement::kGpu, from, to, at);
+        });
+    cpu_breaker_.set_on_transition(
+        [this](fault::BreakerState from, fault::BreakerState to, SimTime at) {
+          on_breaker_transition(Placement::kCpu, from, to, at);
+        });
+    // Poke the dispatcher at every plan-window boundary so a device coming
+    // back up is noticed even when no arrival or completion lands nearby.
+    for (const SimTime at : injector_->transitions()) {
+      sim_.schedule_at(at, [this]() { dispatch_all(); });
+    }
   }
 }
 
@@ -171,7 +233,31 @@ void ReductionService::dispatch_all() {
 
 void ReductionService::dispatch(Placement device) {
   while (pool_.idle(device) && !queue_.empty()) {
-    const auto selected = policy_->select(queue_, device, sim_.now());
+    if (injector_ != nullptr) {
+      fault::CircuitBreaker& breaker = breaker_ref(device);
+      if (!breaker.allow(sim_.now())) {
+        // Breaker open: stop launching on this device and wake the
+        // dispatcher when the half-open probe becomes admissible.
+        schedule_breaker_wake(device, breaker.probe_at());
+        return;
+      }
+    }
+    auto selected = policy_->select(queue_, device, sim_.now());
+    bool fallback = false;
+    if (!selected && device == Placement::kCpu && injector_ != nullptr &&
+        gpu_breaker_.state() != fault::BreakerState::kClosed) {
+      // Degraded placement: the GPU breaker is open (or probing) and the
+      // policy would leave the CPU idle. Serve the oldest non-unified job
+      // on the Grace CPU instead of letting the queue stall; unified jobs
+      // stay GPU-bound and wait for the probe.
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (!queue_.at(i).unified) {
+          selected = i;
+          fallback = true;
+          break;
+        }
+      }
+    }
     if (!selected) return;
     std::vector<Job> batch;
     batch.push_back(queue_.take(*selected));
@@ -195,25 +281,133 @@ void ReductionService::dispatch(Placement device) {
         }
       }
     }
+    if (fallback) {
+      fallback_cpu_jobs_ += static_cast<std::int64_t>(batch.size());
+      if (m_fallback_ != nullptr) {
+        m_fallback_->inc(static_cast<std::int64_t>(batch.size()));
+      }
+      if (flight_ != nullptr) {
+        flight_->record(sim_.now(), "serve", "fallback",
+                        std::to_string(batch.size()) +
+                            " job(s) to cpu, gpu breaker " +
+                            fault::breaker_state_name(gpu_breaker_.state()));
+      }
+    }
     const core::ReduceTuning tuning = device == Placement::kGpu
                                           ? policy_->geometry(batch.front())
                                           : core::ReduceTuning{};
     update_queue_gauge();
     pool_.launch(device, std::move(batch), tuning,
-                 [this](Placement completed_on,
-                        const std::vector<JobRecord>& records) {
-                   for (const auto& record : records) {
-                     records_.push_back(record);
-                     if (m_completed_ != nullptr) m_completed_->inc();
-                     if (m_latency_ms_ != nullptr) {
-                       m_latency_ms_->observe(to_ms(record.latency()));
-                       m_queue_wait_ms_->observe(to_ms(record.queue_wait()));
-                     }
-                     if (on_complete_) on_complete_(record);
-                   }
-                   (void)completed_on;
+                 [this](const LaunchResult& result) {
+                   on_launch_complete(result);
                    dispatch_all();
                  });
+  }
+}
+
+void ReductionService::on_launch_complete(const LaunchResult& result) {
+  if (result.failed) {
+    if (injector_ != nullptr) {
+      breaker_ref(result.device).record_failure(sim_.now());
+    }
+    for (const auto& job : result.jobs) handle_failed_job(job);
+    return;
+  }
+  if (injector_ != nullptr) {
+    breaker_ref(result.device).record_success(sim_.now());
+  }
+  for (const auto& record : result.records) {
+    records_.push_back(record);
+    if (m_completed_ != nullptr) m_completed_->inc();
+    if (m_latency_ms_ != nullptr) {
+      m_latency_ms_->observe(to_ms(record.latency()));
+      m_queue_wait_ms_->observe(to_ms(record.queue_wait()));
+    }
+    if (on_complete_) on_complete_(record);
+  }
+}
+
+void ReductionService::handle_failed_job(const Job& job) {
+  const SimTime now = sim_.now();
+  if (job.attempt + 1 >= options_.retry.max_attempts) {
+    shed_job(job, "retry budget exhausted");
+    return;
+  }
+  // Capped exponential backoff with deterministic jitter: the draw happens
+  // on every retry decision so the jitter stream is a pure function of the
+  // failure sequence.
+  const RetryOptions& retry = options_.retry;
+  SimTime backoff = retry.backoff_base;
+  for (int i = 0; i < job.attempt && backoff < retry.backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, retry.backoff_cap);
+  const SimTime jitter = static_cast<SimTime>(std::llround(
+      retry_rng_.next_double() * retry.jitter * static_cast<double>(backoff)));
+  const SimTime retry_at = now + backoff + jitter;
+  // Deadline-aware retry budget: if the retry cannot even start before the
+  // job's deadline, shed now instead of burning a launch we know is late.
+  if (job.deadline > 0 && retry_at >= job.deadline) {
+    shed_job(job, "deadline unreachable");
+    return;
+  }
+  ++retries_;
+  if (m_retries_ != nullptr) m_retries_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(now, "serve", "retry",
+                    "job " + std::to_string(job.id) + " attempt " +
+                        std::to_string(job.attempt + 1) + " in " +
+                        std::to_string((backoff + jitter) / kMicrosecond) +
+                        "us");
+  }
+  Job again = job;
+  ++again.attempt;
+  sim_.schedule_at(retry_at, [this, again]() {
+    if (!queue_.push(again)) {
+      shed_job(again, "requeue refused (queue full)");
+      return;
+    }
+    update_queue_gauge();
+    dispatch_all();
+  });
+}
+
+void ReductionService::shed_job(const Job& job, const char* reason) {
+  shed_.push_back(job);
+  if (m_shed_ != nullptr) m_shed_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "serve", "shed",
+                    "job " + std::to_string(job.id) + ": " + reason);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->mark(trace::Track::kServer,
+                  "shed " + std::to_string(job.id), sim_.now());
+  }
+}
+
+void ReductionService::schedule_breaker_wake(Placement device, SimTime at) {
+  SimTime& pending = device == Placement::kGpu ? gpu_wake_ : cpu_wake_;
+  if (pending == at) return;  // wake already queued for this probe time
+  pending = at;
+  sim_.schedule_at(at, [this]() { dispatch_all(); });
+}
+
+void ReductionService::on_breaker_transition(Placement device,
+                                             fault::BreakerState from,
+                                             fault::BreakerState to,
+                                             SimTime at) {
+  const int idx = device_index(device);
+  if (to == fault::BreakerState::kOpen && m_breaker_opens_[idx] != nullptr) {
+    m_breaker_opens_[idx]->inc();
+  }
+  if (m_breaker_state_[idx] != nullptr) {
+    m_breaker_state_[idx]->set(static_cast<double>(to));
+  }
+  if (flight_ != nullptr) {
+    flight_->record(at, "serve", "breaker",
+                    std::string(placement_name(device)) + " " +
+                        fault::breaker_state_name(from) + " -> " +
+                        fault::breaker_state_name(to));
   }
 }
 
@@ -230,6 +424,14 @@ ServiceReport ReductionService::report() const {
   report.gpu_jobs = pool_stats.gpu_jobs;
   report.cpu_jobs = pool_stats.cpu_jobs;
   report.queue_high_watermark = queue_.high_watermark();
+  if (injector_ != nullptr) {
+    report.fault_aware = true;
+    report.retries = retries_;
+    report.gpu_failures = pool_stats.gpu_failed_launches;
+    report.breaker_opens = gpu_breaker_.opens() + cpu_breaker_.opens();
+    report.shed = static_cast<std::int64_t>(shed_.size());
+    report.fallback_cpu_jobs = fallback_cpu_jobs_;
+  }
 
   if (records_.empty()) return report;
 

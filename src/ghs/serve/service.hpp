@@ -4,6 +4,15 @@
 // completion is recorded and fed to the latency report. One service run is
 // one deterministic discrete-event simulation — same submissions, same
 // seed, same report, byte for byte.
+//
+// With a fault::Injector attached (ServiceOptions::injector) the loop is
+// self-healing: failed launches are retried with capped exponential
+// backoff plus deterministic jitter, a per-device circuit breaker stops
+// hammering a sick device and probes it half-open after a cool-down, jobs
+// that can no longer make their deadline are shed instead of retried, and
+// while the GPU breaker is open non-unified jobs fall back to the Grace
+// CPU (degraded placement). Every admitted job therefore ends exactly one
+// way: served, rejected at admission, or shed — chaos never loses work.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "ghs/fault/breaker.hpp"
+#include "ghs/fault/injector.hpp"
 #include "ghs/serve/device_pool.hpp"
 #include "ghs/serve/job.hpp"
 #include "ghs/serve/policy.hpp"
@@ -24,8 +35,24 @@
 #include "ghs/telemetry/flight_recorder.hpp"
 #include "ghs/telemetry/registry.hpp"
 #include "ghs/trace/tracer.hpp"
+#include "ghs/util/rng.hpp"
 
 namespace ghs::serve {
+
+/// Per-job retry policy for failed launches (only consulted when a
+/// fault::Injector is attached; fault-free runs never retry).
+struct RetryOptions {
+  /// Total attempts per job, including the first launch.
+  int max_attempts = 4;
+  /// Backoff before retry k is base * 2^(k-1), capped below.
+  SimTime backoff_base = 50 * kMicrosecond;
+  SimTime backoff_cap = 2 * kMillisecond;
+  /// Deterministic jitter: a seeded uniform draw in [0, jitter * backoff)
+  /// is added to every backoff, de-synchronising retry herds without
+  /// breaking replayability.
+  double jitter = 0.25;
+  std::uint64_t jitter_seed = 0x6a177e5;
+};
 
 struct ServiceOptions {
   /// Admission-queue bound; arrivals beyond it are rejected.
@@ -37,6 +64,13 @@ struct ServiceOptions {
   /// Metric instruments + flight recorder for the service, its pool, and
   /// its simulator (null members disable).
   telemetry::Sink telemetry;
+  /// Fault injector driving chaos for this run. Null — or an injector with
+  /// an empty plan — leaves every code path and report byte-identical to a
+  /// fault-unaware service.
+  fault::Injector* injector = nullptr;
+  RetryOptions retry;
+  /// Per-device circuit-breaker thresholds (shared by GPU and CPU).
+  fault::BreakerOptions breaker;
 };
 
 /// Latency-style distribution in milliseconds.
@@ -47,6 +81,8 @@ struct LatencyStats {
   stats::Percentiles pct;  // p50/p95/p99/p999
 };
 
+/// Zero-filled for empty input; a single sample pins every percentile to
+/// that sample.
 LatencyStats make_latency_stats(const std::vector<double>& ms);
 
 struct ServiceReport {
@@ -73,6 +109,22 @@ struct ServiceReport {
   /// Geometry-cache counters (bandwidth-aware policy; zero otherwise).
   std::int64_t tuner_hits = 0;
   std::int64_t tuner_misses = 0;
+  /// Fault-handling accounting, populated (and serialised) only when the
+  /// service ran with a fault injector, so fault-free reports stay
+  /// byte-identical to pre-fault builds.
+  bool fault_aware = false;
+  /// Retry launches scheduled after failures.
+  std::int64_t retries = 0;
+  /// Failed GPU launches (injected kernel faults + outage kills).
+  std::int64_t gpu_failures = 0;
+  /// Breaker closed/half-open -> open transitions, both devices.
+  std::int64_t breaker_opens = 0;
+  /// Jobs dropped by the retry machinery (budget exhausted, deadline
+  /// unreachable, or requeue refused); never silently lost.
+  std::int64_t shed = 0;
+  /// Jobs served on the Grace CPU through degraded placement while the
+  /// GPU breaker was open.
+  std::int64_t fallback_cpu_jobs = 0;
 
   /// One JSON object, stable key order, deterministic formatting.
   void write_json(std::ostream& os) const;
@@ -100,9 +152,14 @@ class ReductionService {
 
   const std::vector<JobRecord>& records() const { return records_; }
   const std::vector<Job>& rejected_jobs() const { return rejected_; }
+  /// Jobs dropped by the retry machinery (fault runs only).
+  const std::vector<Job>& shed_jobs() const { return shed_; }
   const AdmissionQueue& queue() const { return queue_; }
   const DevicePool& pool() const { return pool_; }
   SchedulerPolicy& policy() { return *policy_; }
+  const fault::CircuitBreaker& breaker(Placement device) const {
+    return device == Placement::kGpu ? gpu_breaker_ : cpu_breaker_;
+  }
 
   ServiceReport report() const;
 
@@ -115,6 +172,15 @@ class ReductionService {
   void dispatch_all();
   void dispatch(Placement device);
   void update_queue_gauge();
+  fault::CircuitBreaker& breaker_ref(Placement device) {
+    return device == Placement::kGpu ? gpu_breaker_ : cpu_breaker_;
+  }
+  void on_launch_complete(const LaunchResult& result);
+  void handle_failed_job(const Job& job);
+  void shed_job(const Job& job, const char* reason);
+  void schedule_breaker_wake(Placement device, SimTime at);
+  void on_breaker_transition(Placement device, fault::BreakerState from,
+                             fault::BreakerState to, SimTime at);
 
   std::unique_ptr<SchedulerPolicy> policy_;
   ServiceModel& model_;
@@ -122,11 +188,22 @@ class ReductionService {
   trace::Tracer* tracer_;
   sim::Simulator sim_;
   AdmissionQueue queue_;
+  /// The effective injector: options.injector with an empty plan is
+  /// normalised to null, so "no faults" is one code path.
+  fault::Injector* injector_;
   DevicePool pool_;
+  fault::CircuitBreaker gpu_breaker_;
+  fault::CircuitBreaker cpu_breaker_;
+  Rng retry_rng_;
   std::vector<JobRecord> records_;
   std::vector<Job> rejected_;
+  std::vector<Job> shed_;
   std::function<void(const JobRecord&)> on_complete_;
   std::int64_t submitted_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t fallback_cpu_jobs_ = 0;
+  SimTime gpu_wake_ = -1;
+  SimTime cpu_wake_ = -1;
   telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::Counter* m_submitted_ = nullptr;
   telemetry::Counter* m_admitted_ = nullptr;
@@ -135,6 +212,11 @@ class ReductionService {
   telemetry::Gauge* m_queue_depth_ = nullptr;
   telemetry::Histogram* m_latency_ms_ = nullptr;
   telemetry::Histogram* m_queue_wait_ms_ = nullptr;
+  telemetry::Counter* m_retries_ = nullptr;
+  telemetry::Counter* m_shed_ = nullptr;
+  telemetry::Counter* m_fallback_ = nullptr;
+  telemetry::Counter* m_breaker_opens_[2] = {nullptr, nullptr};
+  telemetry::Gauge* m_breaker_state_[2] = {nullptr, nullptr};
 };
 
 }  // namespace ghs::serve

@@ -113,6 +113,10 @@ double histogram_quantile(const std::vector<double>& upper_bounds,
 }
 
 Percentiles percentiles(std::vector<double> values) {
+  // Zero-filled for an empty series: report code feeds whatever survived a
+  // run through here, and "nothing survived" (all jobs rejected or shed) is
+  // a legitimate outcome, not a programming error.
+  if (values.empty()) return Percentiles{};
   const auto qs = quantiles(std::move(values), {0.50, 0.95, 0.99, 0.999});
   return Percentiles{qs[0], qs[1], qs[2], qs[3]};
 }

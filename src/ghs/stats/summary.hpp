@@ -65,7 +65,8 @@ struct Percentiles {
 };
 
 /// p50/p95/p99/p999 of `values` with one sort (same interpolation as
-/// percentile()); requires non-empty input.
+/// percentile()). Empty input yields all zeros; a single sample pins every
+/// percentile to that sample.
 Percentiles percentiles(std::vector<double> values);
 
 }  // namespace ghs::stats

@@ -157,4 +157,13 @@ void Cli::parse(int argc, const char* const* argv) {
   }
 }
 
+void Cli::parse_or_exit(int argc, const char* const* argv) {
+  try {
+    parse(argc, argv);
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << "\n\n" << usage();
+    std::exit(2);
+  }
+}
+
 }  // namespace ghs

@@ -39,6 +39,11 @@ class Cli {
   /// Parses argv. On --help, prints usage to stdout and std::exit(0)s.
   void parse(int argc, const char* const* argv);
 
+  /// parse() for program entry points: a bad command line prints the error
+  /// plus the usage text to stderr and std::exit(2)s instead of letting the
+  /// ghs::Error escape main() into std::terminate.
+  void parse_or_exit(int argc, const char* const* argv);
+
   /// Renders the usage text (also used by --help).
   std::string usage() const;
 

@@ -1,0 +1,94 @@
+#include "ghs/fault/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ghs::fault {
+namespace {
+
+BreakerOptions options(int failures, SimTime open_for, int closes = 1) {
+  BreakerOptions o;
+  o.failure_threshold = failures;
+  o.open_duration = open_for;
+  o.close_threshold = closes;
+  return o;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker(options(3, kMillisecond));
+  breaker.record_failure(0);
+  breaker.record_failure(1);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(2));
+  // A success resets the consecutive count.
+  breaker.record_success(3);
+  breaker.record_failure(4);
+  breaker.record_failure(5);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.opens(), 0);
+}
+
+TEST(CircuitBreakerTest, OpensAtThresholdAndBlocksUntilCooldown) {
+  CircuitBreaker breaker(options(3, kMillisecond));
+  breaker.record_failure(10);
+  breaker.record_failure(20);
+  breaker.record_failure(30);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1);
+  EXPECT_EQ(breaker.probe_at(), 30 + kMillisecond);
+  EXPECT_FALSE(breaker.allow(31));
+  EXPECT_FALSE(breaker.allow(30 + kMillisecond - 1));
+  // Cool-down elapsed: the next allow() admits the half-open probe.
+  EXPECT_TRUE(breaker.allow(30 + kMillisecond));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesProbeFailureReopens) {
+  CircuitBreaker breaker(options(2, kMillisecond));
+  breaker.record_failure(0);
+  breaker.record_failure(1);
+  ASSERT_TRUE(breaker.allow(1 + kMillisecond));
+  breaker.record_failure(2 + kMillisecond);  // probe failed
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2);
+  ASSERT_TRUE(breaker.allow(2 + 2 * kMillisecond));
+  breaker.record_success(3 + 2 * kMillisecond);  // probe succeeded
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(4 + 2 * kMillisecond));
+}
+
+TEST(CircuitBreakerTest, CloseThresholdRequiresConsecutiveProbeSuccesses) {
+  CircuitBreaker breaker(options(1, kMillisecond, /*closes=*/2));
+  breaker.record_failure(0);
+  ASSERT_TRUE(breaker.allow(kMillisecond));
+  breaker.record_success(kMillisecond + 1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success(kMillisecond + 2);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, TransitionHookSeesEveryStateChange) {
+  CircuitBreaker breaker(options(1, kMillisecond));
+  std::vector<std::string> transitions;
+  std::vector<SimTime> at;
+  breaker.set_on_transition(
+      [&](BreakerState from, BreakerState to, SimTime when) {
+        transitions.push_back(std::string(breaker_state_name(from)) + ">" +
+                              breaker_state_name(to));
+        at.push_back(when);
+      });
+  breaker.record_failure(5);
+  ASSERT_TRUE(breaker.allow(5 + kMillisecond));
+  breaker.record_success(6 + kMillisecond);
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], "closed>open");
+  EXPECT_EQ(transitions[1], "open>half-open");
+  EXPECT_EQ(transitions[2], "half-open>closed");
+  EXPECT_EQ(at[0], 5);
+  EXPECT_EQ(at[1], 5 + kMillisecond);
+}
+
+}  // namespace
+}  // namespace ghs::fault

@@ -1,0 +1,137 @@
+#include "ghs/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ghs/telemetry/flight_recorder.hpp"
+#include "ghs/telemetry/registry.hpp"
+
+namespace ghs::fault {
+namespace {
+
+TEST(InjectorTest, DeviceDownFollowsOutageWindows) {
+  const auto plan = parse_plan("device-down gpu from=1ms until=2ms\n");
+  Injector injector(plan, 1);
+  EXPECT_FALSE(injector.device_down(Target::kGpu, 0));
+  EXPECT_TRUE(injector.device_down(Target::kGpu, 1 * kMillisecond));
+  EXPECT_TRUE(injector.device_down(Target::kGpu, 2 * kMillisecond - 1));
+  EXPECT_FALSE(injector.device_down(Target::kGpu, 2 * kMillisecond));
+  EXPECT_FALSE(injector.device_down(Target::kCpu, 1 * kMillisecond));
+  EXPECT_TRUE(injector.outage_overlaps(Target::kGpu, 0, kMillisecond + 1));
+  EXPECT_FALSE(injector.outage_overlaps(Target::kGpu, 0, kMillisecond));
+  EXPECT_FALSE(injector.outage_overlaps(Target::kGpu, 2 * kMillisecond,
+                                        3 * kMillisecond));
+}
+
+TEST(InjectorTest, OverlappingBandwidthEpisodesCompound) {
+  const auto plan = parse_plan(
+      "bandwidth gpu scale=0.5 from=0ms until=2ms\n"
+      "bandwidth gpu scale=0.5 from=1ms until=3ms\n"
+      "bandwidth cpu scale=0.25\n");
+  Injector injector(plan, 1);
+  EXPECT_DOUBLE_EQ(injector.service_scale(Target::kGpu, 0), 2.0);
+  EXPECT_DOUBLE_EQ(injector.service_scale(Target::kGpu, kMillisecond), 4.0);
+  EXPECT_DOUBLE_EQ(injector.service_scale(Target::kGpu, 3 * kMillisecond),
+                   1.0);
+  // The CPU episode has no window, so it is active for the whole run.
+  EXPECT_DOUBLE_EQ(injector.service_scale(Target::kCpu, 5 * kSecond), 4.0);
+}
+
+TEST(InjectorTest, MigrationStallScaleFollowsWindow) {
+  const auto plan = parse_plan("migration-stall scale=0.1 from=2ms until=6ms\n");
+  Injector injector(plan, 1);
+  EXPECT_DOUBLE_EQ(injector.migration_stall_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.migration_stall_scale(2 * kMillisecond), 10.0);
+}
+
+TEST(InjectorTest, WindowedKernelFaultFailsEveryLaunchInside) {
+  const auto plan = parse_plan("kernel-fault gpu from=1ms until=2ms\n");
+  Injector injector(plan, 1);
+  EXPECT_FALSE(injector.kernel_fails(Target::kGpu, 0));
+  EXPECT_TRUE(injector.kernel_fails(Target::kGpu, 1 * kMillisecond));
+  EXPECT_FALSE(injector.kernel_fails(Target::kCpu, 1 * kMillisecond));
+  EXPECT_FALSE(injector.kernel_fails(Target::kGpu, 2 * kMillisecond));
+  EXPECT_EQ(injector.stats().kernel_faults, 1);
+}
+
+TEST(InjectorTest, ProbabilisticFaultsReplayFromSeed) {
+  const auto plan = parse_plan("kernel-fault gpu p=0.3\n");
+  const auto sequence = [&plan](std::uint64_t seed) {
+    Injector injector(plan, seed);
+    std::vector<bool> fails;
+    for (SimTime t = 0; t < 200; ++t) {
+      fails.push_back(injector.kernel_fails(Target::kGpu, t));
+    }
+    return fails;
+  };
+  const auto a = sequence(42);
+  EXPECT_EQ(a, sequence(42));
+  EXPECT_NE(a, sequence(43));
+  // ~30% of launches fail; a wild miss means the draw is broken.
+  const auto failures =
+      static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(failures, 30u);
+  EXPECT_LT(failures, 90u);
+}
+
+TEST(InjectorTest, CertainFaultConsumesNoRandomness) {
+  // p=1 and p=0 specs must not draw, so adding them around a fractional
+  // spec leaves its stream untouched.
+  const auto bare = parse_plan("kernel-fault gpu p=0.5\n");
+  const auto padded = parse_plan(
+      "kernel-fault cpu p=1\n"
+      "kernel-fault gpu p=0.5\n"
+      "kernel-fault cpu p=0\n");
+  Injector a(bare, 9);
+  Injector b(padded, 9);
+  for (SimTime t = 0; t < 100; ++t) {
+    EXPECT_EQ(a.kernel_fails(Target::kGpu, t),
+              b.kernel_fails(Target::kGpu, t));
+  }
+}
+
+TEST(InjectorTest, TransitionsAreSortedUniqueWindowBoundaries) {
+  const auto plan = parse_plan(
+      "device-down gpu from=1ms until=2ms\n"
+      "bandwidth gpu scale=0.5 from=2ms until=4ms\n"
+      "kernel-fault gpu p=0.1\n");  // unbounded: no boundary
+  Injector injector(plan, 1);
+  const std::vector<SimTime> expected = {1 * kMillisecond, 2 * kMillisecond,
+                                         4 * kMillisecond};
+  EXPECT_EQ(injector.transitions(), expected);
+}
+
+TEST(InjectorTest, InstrumentsInjectionsWhenSinkAttached) {
+  telemetry::Registry registry;
+  telemetry::FlightRecorder flight;
+  const auto plan = parse_plan("kernel-fault gpu from=0ms until=1ms\n");
+  Injector injector(plan, 1, {&registry, &flight});
+  ASSERT_TRUE(injector.kernel_fails(Target::kGpu, 0));
+  injector.note_outage_fault(Target::kGpu, 5);
+  injector.note_slowed_launch(Target::kCpu, 6, 2.0);
+  injector.note_stalled_launch(7, 4.0);
+  EXPECT_EQ(registry
+                .counter("ghs_fault_kernel_failures_total",
+                         {{"device", "gpu"}})
+                .value(),
+            1);
+  EXPECT_EQ(registry
+                .counter("ghs_fault_outage_failures_total",
+                         {{"device", "gpu"}})
+                .value(),
+            1);
+  EXPECT_EQ(registry
+                .counter("ghs_fault_slowed_launches_total",
+                         {{"device", "cpu"}})
+                .value(),
+            1);
+  EXPECT_EQ(registry.counter("ghs_fault_stalled_launches_total", {}).value(),
+            1);
+  EXPECT_EQ(flight.size(), 4u);
+  EXPECT_EQ(flight.events().front().layer, "fault");
+}
+
+}  // namespace
+}  // namespace ghs::fault

@@ -1,0 +1,99 @@
+#include "ghs/fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesEveryFaultKind) {
+  const auto plan = parse_plan(
+      "# a comment line\n"
+      "kernel-fault gpu p=0.05\n"
+      "kernel-fault cpu from=2ms until=3ms\n"
+      "bandwidth gpu scale=0.25 from=1ms until=4ms\n"
+      "device-down gpu from=5ms until=8ms\n"
+      "migration-stall scale=0.1 from=2ms until=6ms\n"
+      "error-latency 25us\n");
+  ASSERT_EQ(plan.kernel_faults.size(), 2u);
+  EXPECT_EQ(plan.kernel_faults[0].target, Target::kGpu);
+  EXPECT_DOUBLE_EQ(plan.kernel_faults[0].probability, 0.05);
+  EXPECT_TRUE(plan.kernel_faults[0].window.unbounded());
+  EXPECT_EQ(plan.kernel_faults[1].target, Target::kCpu);
+  EXPECT_DOUBLE_EQ(plan.kernel_faults[1].probability, 1.0);
+  EXPECT_EQ(plan.kernel_faults[1].window.begin, 2 * kMillisecond);
+  EXPECT_EQ(plan.kernel_faults[1].window.end, 3 * kMillisecond);
+  ASSERT_EQ(plan.bandwidth_episodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_episodes[0].scale, 0.25);
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.outages[0].window.begin, 5 * kMillisecond);
+  ASSERT_EQ(plan.migration_stalls.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.migration_stalls[0].scale, 0.1);
+  EXPECT_EQ(plan.down_error_latency, 25 * kMicrosecond);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.size(), 5u);
+}
+
+TEST(FaultPlanTest, EmptyAndCommentOnlyTextYieldsEmptyPlan) {
+  EXPECT_TRUE(parse_plan("").empty());
+  EXPECT_TRUE(parse_plan("# nothing\n\n  # also nothing\n").empty());
+}
+
+TEST(FaultPlanTest, TimeUnitsCoverPicosecondsToSeconds) {
+  const auto plan = parse_plan("device-down gpu from=500ns until=1500000ps\n"
+                               "device-down cpu from=1ms until=2s\n");
+  EXPECT_EQ(plan.outages[0].window.begin, 500 * kNanosecond);
+  EXPECT_EQ(plan.outages[0].window.end, 1500000 * kPicosecond);
+  EXPECT_EQ(plan.outages[1].window.end, 2 * kSecond);
+}
+
+TEST(FaultPlanTest, RejectsMalformedLinesWithLineNumbers) {
+  EXPECT_THROW(parse_plan("explode gpu\n"), Error);
+  EXPECT_THROW(parse_plan("kernel-fault gpu p=1.5\n"), Error);
+  EXPECT_THROW(parse_plan("kernel-fault gpu\n"), Error);  // no p, no window
+  EXPECT_THROW(parse_plan("bandwidth gpu from=1ms until=2ms\n"), Error);
+  EXPECT_THROW(parse_plan("bandwidth gpu scale=0\n"), Error);
+  EXPECT_THROW(parse_plan("device-down gpu\n"), Error);
+  EXPECT_THROW(parse_plan("device-down nvme from=1ms until=2ms\n"), Error);
+  EXPECT_THROW(parse_plan("device-down gpu from=2ms until=1ms\n"), Error);
+  EXPECT_THROW(parse_plan("device-down gpu from=2 until=3\n"), Error);
+  EXPECT_THROW(parse_plan("kernel-fault gpu probability=0.5\n"), Error);
+  try {
+    parse_plan("kernel-fault gpu p=0.5\nbogus\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FaultPlanTest, FormatRoundTripsThroughParse) {
+  const auto plan = parse_plan(
+      "kernel-fault gpu p=0.05\n"
+      "bandwidth cpu scale=0.5 from=1ms until=4ms\n"
+      "device-down gpu from=5ms until=8ms\n"
+      "migration-stall scale=0.1 from=2ms until=6ms\n"
+      "error-latency 25us\n");
+  const auto reparsed = parse_plan(format_plan(plan));
+  EXPECT_EQ(format_plan(reparsed), format_plan(plan));
+  EXPECT_EQ(reparsed.size(), plan.size());
+  EXPECT_EQ(reparsed.down_error_latency, plan.down_error_latency);
+  EXPECT_EQ(reparsed.outages[0].window.begin, plan.outages[0].window.begin);
+}
+
+TEST(FaultPlanTest, WindowSemantics) {
+  Window window{10, 20};
+  EXPECT_TRUE(window.contains(10));
+  EXPECT_TRUE(window.contains(19));
+  EXPECT_FALSE(window.contains(20));  // half-open
+  EXPECT_FALSE(window.contains(9));
+  EXPECT_TRUE(window.overlaps(0, 11));
+  EXPECT_TRUE(window.overlaps(19, 30));
+  EXPECT_FALSE(window.overlaps(0, 10));
+  EXPECT_FALSE(window.overlaps(20, 30));
+  EXPECT_FALSE(window.unbounded());
+  EXPECT_TRUE(Window{}.unbounded());
+}
+
+}  // namespace
+}  // namespace ghs::fault

@@ -183,6 +183,55 @@ TEST(ReductionServiceTest, LatencySeriesMatchesRecords) {
   EXPECT_EQ(service.latency_series().points().size(), 3u);
 }
 
+TEST(ReductionServiceTest, LatencyStatsDegradeGracefullyOnTinySeries) {
+  const LatencyStats empty = make_latency_stats({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.pct.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.pct.p999, 0.0);
+
+  const LatencyStats single = make_latency_stats({2.25});
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_DOUBLE_EQ(single.mean_ms, 2.25);
+  EXPECT_DOUBLE_EQ(single.max_ms, 2.25);
+  EXPECT_DOUBLE_EQ(single.pct.p50, 2.25);
+  EXPECT_DOUBLE_EQ(single.pct.p99, 2.25);
+}
+
+TEST(ReductionServiceTest, BurstyArrivalsFillQueueToDepthDeterministically) {
+  const auto run = [] {
+    ServiceModel model;
+    ServiceOptions options;
+    options.queue_depth = 6;
+    options.batching.enable = false;
+    ReductionService service(std::make_unique<FifoPolicy>(), model, options);
+    // Two bursts: the first overwhelms the queue while a big job pins the
+    // GPU; the second lands after some drain, refilling to the depth.
+    service.submit(job(0, workload::CaseId::kC4, 1 << 24, 0));
+    JobId id = 1;
+    for (int burst = 0; burst < 2; ++burst) {
+      for (int k = 0; k < 10; ++k) {
+        service.submit(job(id++, workload::CaseId::kC1, 1 << 16,
+                           burst * 200 * kMicrosecond + 1));
+      }
+    }
+    service.run();
+    std::ostringstream json;
+    service.report().write_json(json);
+    return std::make_pair(service.report(), json.str());
+  };
+  const auto [report, json_a] = run();
+  // The queue fills exactly to its bound, never past it, and every job is
+  // either served or rejected — none lost in between.
+  EXPECT_EQ(report.queue_high_watermark, 6u);
+  EXPECT_GT(report.rejected, 0);
+  EXPECT_EQ(report.submitted, 21);
+  EXPECT_EQ(report.served + report.rejected, report.submitted);
+  // Same seed, same bursts: the report replays byte-for-byte.
+  EXPECT_EQ(json_a, run().second);
+}
+
 TEST(ClosedLoopTest, KeepsTenantsJobLimitAndDeterminism) {
   const auto run = [] {
     ServiceModel model;

@@ -95,7 +95,6 @@ TEST(SummaryTest, PercentilesSingleValue) {
   EXPECT_DOUBLE_EQ(p.p95, 7.5);
   EXPECT_DOUBLE_EQ(p.p99, 7.5);
   EXPECT_DOUBLE_EQ(p.p999, 7.5);
-  EXPECT_THROW(percentiles({}), Error);
 }
 
 TEST(SummaryTest, PercentilesIncludeP999) {
@@ -155,6 +154,24 @@ TEST(SummaryTest, HistogramQuantileRejectsBadInput) {
   EXPECT_THROW(histogram_quantile(bounds, {0, 0}, 0.5), Error);  // total 0
   EXPECT_THROW(histogram_quantile(bounds, {1}, 0.5), Error);  // size mismatch
   EXPECT_THROW(histogram_quantile(bounds, {1, 1}, 1.5), Error);
+}
+
+TEST(SummaryTest, PercentilesOfEmptySeriesAreZero) {
+  // Report code feeds whatever survived a run through here; "nothing
+  // survived" must degrade to zeros, not throw.
+  const Percentiles pct = percentiles({});
+  EXPECT_DOUBLE_EQ(pct.p50, 0.0);
+  EXPECT_DOUBLE_EQ(pct.p95, 0.0);
+  EXPECT_DOUBLE_EQ(pct.p99, 0.0);
+  EXPECT_DOUBLE_EQ(pct.p999, 0.0);
+}
+
+TEST(SummaryTest, PercentilesOfSingleSamplePinToThatSample) {
+  const Percentiles pct = percentiles({3.5});
+  EXPECT_DOUBLE_EQ(pct.p50, 3.5);
+  EXPECT_DOUBLE_EQ(pct.p95, 3.5);
+  EXPECT_DOUBLE_EQ(pct.p99, 3.5);
+  EXPECT_DOUBLE_EQ(pct.p999, 3.5);
 }
 
 }  // namespace

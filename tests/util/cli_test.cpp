@@ -106,6 +106,26 @@ TEST(CliTest, UsageMentionsOptionsAndDefaults) {
   EXPECT_NE(usage.find("200"), std::string::npos);
 }
 
+TEST(CliDeathTest, ParseOrExitPrintsUsageAndExits2OnUnknownOption) {
+  // Entry points use parse_or_exit so a typo ends in a usage message and
+  // exit status 2 — never an uncaught ghs::Error aborting via terminate.
+  const auto attempt = [] {
+    Cli cli("prog", "test");
+    cli.add_int("iters", 1, "timing repetitions");
+    const std::array<const char*, 2> argv = {"prog", "--nope"};
+    cli.parse_or_exit(2, argv.data());
+  };
+  EXPECT_EXIT(attempt(), testing::ExitedWithCode(2), "unknown option --nope");
+}
+
+TEST(CliDeathTest, ParseOrExitAcceptsGoodCommandLines) {
+  Cli cli("prog", "test");
+  const auto* iters = cli.add_int("iters", 1, "");
+  const std::array<const char*, 2> argv = {"prog", "--iters=9"};
+  cli.parse_or_exit(2, argv.data());
+  EXPECT_EQ(*iters, 9);
+}
+
 TEST(CliTest, NegativeNumbersParse) {
   Cli cli("prog", "test");
   const auto* x = cli.add_int("x", 0, "");
