@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combine_strategy.dir/ablation_combine_strategy.cpp.o"
+  "CMakeFiles/ablation_combine_strategy.dir/ablation_combine_strategy.cpp.o.d"
+  "ablation_combine_strategy"
+  "ablation_combine_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combine_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

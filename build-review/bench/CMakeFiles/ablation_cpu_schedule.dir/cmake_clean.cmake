@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_schedule.dir/ablation_cpu_schedule.cpp.o"
+  "CMakeFiles/ablation_cpu_schedule.dir/ablation_cpu_schedule.cpp.o.d"
+  "ablation_cpu_schedule"
+  "ablation_cpu_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grid_heuristic.dir/ablation_grid_heuristic.cpp.o"
+  "CMakeFiles/ablation_grid_heuristic.dir/ablation_grid_heuristic.cpp.o.d"
+  "ablation_grid_heuristic"
+  "ablation_grid_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grid_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

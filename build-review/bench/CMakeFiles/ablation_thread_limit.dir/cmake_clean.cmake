@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thread_limit.dir/ablation_thread_limit.cpp.o"
+  "CMakeFiles/ablation_thread_limit.dir/ablation_thread_limit.cpp.o.d"
+  "ablation_thread_limit"
+  "ablation_thread_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thread_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_um_policy.dir/ablation_um_policy.cpp.o"
+  "CMakeFiles/ablation_um_policy.dir/ablation_um_policy.cpp.o.d"
+  "ablation_um_policy"
+  "ablation_um_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_um_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

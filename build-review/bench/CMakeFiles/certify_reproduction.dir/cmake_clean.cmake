@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_reproduction.dir/certify_reproduction.cpp.o"
+  "CMakeFiles/certify_reproduction.dir/certify_reproduction.cpp.o.d"
+  "certify_reproduction"
+  "certify_reproduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_loadgen.dir/chaos_loadgen.cpp.o"
+  "CMakeFiles/chaos_loadgen.dir/chaos_loadgen.cpp.o.d"
+  "chaos_loadgen"
+  "chaos_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

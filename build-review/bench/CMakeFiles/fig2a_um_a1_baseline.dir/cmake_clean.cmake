@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_um_a1_baseline.dir/fig2a_um_a1_baseline.cpp.o"
+  "CMakeFiles/fig2a_um_a1_baseline.dir/fig2a_um_a1_baseline.cpp.o.d"
+  "fig2a_um_a1_baseline"
+  "fig2a_um_a1_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_um_a1_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

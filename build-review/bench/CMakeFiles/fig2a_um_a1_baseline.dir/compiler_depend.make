@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2a_um_a1_baseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_um_a1_optimized.dir/fig2b_um_a1_optimized.cpp.o"
+  "CMakeFiles/fig2b_um_a1_optimized.dir/fig2b_um_a1_optimized.cpp.o.d"
+  "fig2b_um_a1_optimized"
+  "fig2b_um_a1_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_um_a1_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_um_a2_baseline.dir/fig4a_um_a2_baseline.cpp.o"
+  "CMakeFiles/fig4a_um_a2_baseline.dir/fig4a_um_a2_baseline.cpp.o.d"
+  "fig4a_um_a2_baseline"
+  "fig4a_um_a2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_um_a2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

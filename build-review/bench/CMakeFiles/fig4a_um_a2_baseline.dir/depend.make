@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4a_um_a2_baseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_um_a2_optimized.dir/fig4b_um_a2_optimized.cpp.o"
+  "CMakeFiles/fig4b_um_a2_optimized.dir/fig4b_um_a2_optimized.cpp.o.d"
+  "fig4b_um_a2_optimized"
+  "fig4b_um_a2_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_um_a2_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4b_um_a2_optimized.
+# This may be replaced when dependencies are built.

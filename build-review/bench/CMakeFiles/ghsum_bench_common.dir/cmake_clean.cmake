@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghsum_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ghsum_bench_common.dir/common.cpp.o.d"
+  "CMakeFiles/ghsum_bench_common.dir/um_bench.cpp.o"
+  "CMakeFiles/ghsum_bench_common.dir/um_bench.cpp.o.d"
+  "libghsum_bench_common.a"
+  "libghsum_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghsum_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libghsum_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_stats.dir/summary_stats.cpp.o"
+  "CMakeFiles/summary_stats.dir/summary_stats.cpp.o.d"
+  "summary_stats"
+  "summary_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_baseline_vs_optimized.dir/table1_baseline_vs_optimized.cpp.o"
+  "CMakeFiles/table1_baseline_vs_optimized.dir/table1_baseline_vs_optimized.cpp.o.d"
+  "table1_baseline_vs_optimized"
+  "table1_baseline_vs_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baseline_vs_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

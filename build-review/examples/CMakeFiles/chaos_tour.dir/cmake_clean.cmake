@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_tour.dir/chaos_tour.cpp.o"
+  "CMakeFiles/chaos_tour.dir/chaos_tour.cpp.o.d"
+  "chaos_tour"
+  "chaos_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

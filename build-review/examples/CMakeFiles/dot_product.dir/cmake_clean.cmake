@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_product.dir/dot_product.cpp.o"
+  "CMakeFiles/dot_product.dir/dot_product.cpp.o.d"
+  "dot_product"
+  "dot_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_split_planner.dir/hetero_split_planner.cpp.o"
+  "CMakeFiles/hetero_split_planner.dir/hetero_split_planner.cpp.o.d"
+  "hetero_split_planner"
+  "hetero_split_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_split_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

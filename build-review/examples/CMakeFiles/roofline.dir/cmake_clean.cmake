@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline.dir/roofline.cpp.o"
+  "CMakeFiles/roofline.dir/roofline.cpp.o.d"
+  "roofline"
+  "roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tour.dir/telemetry_tour.cpp.o"
+  "CMakeFiles/telemetry_tour.dir/telemetry_tour.cpp.o.d"
+  "telemetry_tour"
+  "telemetry_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

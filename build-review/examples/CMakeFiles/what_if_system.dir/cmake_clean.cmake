@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_system.dir/what_if_system.cpp.o"
+  "CMakeFiles/what_if_system.dir/what_if_system.cpp.o.d"
+  "what_if_system"
+  "what_if_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

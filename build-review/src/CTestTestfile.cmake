@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("ghs/util")
+subdirs("ghs/stats")
+subdirs("ghs/telemetry")
+subdirs("ghs/fault")
+subdirs("ghs/trace")
+subdirs("ghs/sim")
+subdirs("ghs/mem")
+subdirs("ghs/um")
+subdirs("ghs/gpu")
+subdirs("ghs/cpu")
+subdirs("ghs/omp")
+subdirs("ghs/workload")
+subdirs("ghs/core")
+subdirs("ghs/serve")

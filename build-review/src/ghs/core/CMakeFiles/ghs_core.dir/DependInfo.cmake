@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ghs/core/config_io.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/config_io.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/ghs/core/platform.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/platform.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/platform.cpp.o.d"
+  "/root/repo/src/ghs/core/reduce.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/reduce.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/reduce.cpp.o.d"
+  "/root/repo/src/ghs/core/sweep.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/sweep.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/ghs/core/system_config.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/system_config.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/system_config.cpp.o.d"
+  "/root/repo/src/ghs/core/tuner.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/tuner.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/ghs/core/verify.cpp" "src/ghs/core/CMakeFiles/ghs_core.dir/verify.cpp.o" "gcc" "src/ghs/core/CMakeFiles/ghs_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/omp/CMakeFiles/ghs_omp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/workload/CMakeFiles/ghs_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/cpu/CMakeFiles/ghs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/gpu/CMakeFiles/ghs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/um/CMakeFiles/ghs_um.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/trace/CMakeFiles/ghs_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/mem/CMakeFiles/ghs_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/sim/CMakeFiles/ghs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_core.dir/config_io.cpp.o"
+  "CMakeFiles/ghs_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/ghs_core.dir/platform.cpp.o"
+  "CMakeFiles/ghs_core.dir/platform.cpp.o.d"
+  "CMakeFiles/ghs_core.dir/reduce.cpp.o"
+  "CMakeFiles/ghs_core.dir/reduce.cpp.o.d"
+  "CMakeFiles/ghs_core.dir/sweep.cpp.o"
+  "CMakeFiles/ghs_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/ghs_core.dir/system_config.cpp.o"
+  "CMakeFiles/ghs_core.dir/system_config.cpp.o.d"
+  "CMakeFiles/ghs_core.dir/tuner.cpp.o"
+  "CMakeFiles/ghs_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/ghs_core.dir/verify.cpp.o"
+  "CMakeFiles/ghs_core.dir/verify.cpp.o.d"
+  "libghs_core.a"
+  "libghs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_cpu.dir/device.cpp.o"
+  "CMakeFiles/ghs_cpu.dir/device.cpp.o.d"
+  "libghs_cpu.a"
+  "libghs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_fault.dir/breaker.cpp.o"
+  "CMakeFiles/ghs_fault.dir/breaker.cpp.o.d"
+  "CMakeFiles/ghs_fault.dir/injector.cpp.o"
+  "CMakeFiles/ghs_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/ghs_fault.dir/plan.cpp.o"
+  "CMakeFiles/ghs_fault.dir/plan.cpp.o.d"
+  "libghs_fault.a"
+  "libghs_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_gpu.dir/coalescing.cpp.o"
+  "CMakeFiles/ghs_gpu.dir/coalescing.cpp.o.d"
+  "CMakeFiles/ghs_gpu.dir/device.cpp.o"
+  "CMakeFiles/ghs_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/ghs_gpu.dir/occupancy.cpp.o"
+  "CMakeFiles/ghs_gpu.dir/occupancy.cpp.o.d"
+  "libghs_gpu.a"
+  "libghs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_mem.dir/topology.cpp.o"
+  "CMakeFiles/ghs_mem.dir/topology.cpp.o.d"
+  "CMakeFiles/ghs_mem.dir/transfer.cpp.o"
+  "CMakeFiles/ghs_mem.dir/transfer.cpp.o.d"
+  "libghs_mem.a"
+  "libghs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

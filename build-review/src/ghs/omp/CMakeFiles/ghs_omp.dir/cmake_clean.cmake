@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_omp.dir/env.cpp.o"
+  "CMakeFiles/ghs_omp.dir/env.cpp.o.d"
+  "CMakeFiles/ghs_omp.dir/heuristics.cpp.o"
+  "CMakeFiles/ghs_omp.dir/heuristics.cpp.o.d"
+  "CMakeFiles/ghs_omp.dir/runtime.cpp.o"
+  "CMakeFiles/ghs_omp.dir/runtime.cpp.o.d"
+  "libghs_omp.a"
+  "libghs_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

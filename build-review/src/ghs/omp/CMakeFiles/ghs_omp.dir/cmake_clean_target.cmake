@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libghs_omp.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_serve.dir/device_pool.cpp.o"
+  "CMakeFiles/ghs_serve.dir/device_pool.cpp.o.d"
+  "CMakeFiles/ghs_serve.dir/loadgen.cpp.o"
+  "CMakeFiles/ghs_serve.dir/loadgen.cpp.o.d"
+  "CMakeFiles/ghs_serve.dir/policy.cpp.o"
+  "CMakeFiles/ghs_serve.dir/policy.cpp.o.d"
+  "CMakeFiles/ghs_serve.dir/queue.cpp.o"
+  "CMakeFiles/ghs_serve.dir/queue.cpp.o.d"
+  "CMakeFiles/ghs_serve.dir/service.cpp.o"
+  "CMakeFiles/ghs_serve.dir/service.cpp.o.d"
+  "CMakeFiles/ghs_serve.dir/service_model.cpp.o"
+  "CMakeFiles/ghs_serve.dir/service_model.cpp.o.d"
+  "libghs_serve.a"
+  "libghs_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

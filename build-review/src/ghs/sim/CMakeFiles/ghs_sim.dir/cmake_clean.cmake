@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ghs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ghs_sim.dir/fluid.cpp.o"
+  "CMakeFiles/ghs_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/ghs_sim.dir/server.cpp.o"
+  "CMakeFiles/ghs_sim.dir/server.cpp.o.d"
+  "CMakeFiles/ghs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ghs_sim.dir/simulator.cpp.o.d"
+  "libghs_sim.a"
+  "libghs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

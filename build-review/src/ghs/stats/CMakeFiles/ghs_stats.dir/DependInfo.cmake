@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ghs/stats/chart.cpp" "src/ghs/stats/CMakeFiles/ghs_stats.dir/chart.cpp.o" "gcc" "src/ghs/stats/CMakeFiles/ghs_stats.dir/chart.cpp.o.d"
+  "/root/repo/src/ghs/stats/series.cpp" "src/ghs/stats/CMakeFiles/ghs_stats.dir/series.cpp.o" "gcc" "src/ghs/stats/CMakeFiles/ghs_stats.dir/series.cpp.o.d"
+  "/root/repo/src/ghs/stats/summary.cpp" "src/ghs/stats/CMakeFiles/ghs_stats.dir/summary.cpp.o" "gcc" "src/ghs/stats/CMakeFiles/ghs_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/ghs/stats/table.cpp" "src/ghs/stats/CMakeFiles/ghs_stats.dir/table.cpp.o" "gcc" "src/ghs/stats/CMakeFiles/ghs_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_stats.dir/chart.cpp.o"
+  "CMakeFiles/ghs_stats.dir/chart.cpp.o.d"
+  "CMakeFiles/ghs_stats.dir/series.cpp.o"
+  "CMakeFiles/ghs_stats.dir/series.cpp.o.d"
+  "CMakeFiles/ghs_stats.dir/summary.cpp.o"
+  "CMakeFiles/ghs_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/ghs_stats.dir/table.cpp.o"
+  "CMakeFiles/ghs_stats.dir/table.cpp.o.d"
+  "libghs_stats.a"
+  "libghs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ghs/telemetry/exporters.cpp" "src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/exporters.cpp.o" "gcc" "src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/exporters.cpp.o.d"
+  "/root/repo/src/ghs/telemetry/flight_recorder.cpp" "src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/flight_recorder.cpp.o" "gcc" "src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/flight_recorder.cpp.o.d"
+  "/root/repo/src/ghs/telemetry/registry.cpp" "src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/registry.cpp.o" "gcc" "src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

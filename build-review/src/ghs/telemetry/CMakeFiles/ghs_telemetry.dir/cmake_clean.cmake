@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_telemetry.dir/exporters.cpp.o"
+  "CMakeFiles/ghs_telemetry.dir/exporters.cpp.o.d"
+  "CMakeFiles/ghs_telemetry.dir/flight_recorder.cpp.o"
+  "CMakeFiles/ghs_telemetry.dir/flight_recorder.cpp.o.d"
+  "CMakeFiles/ghs_telemetry.dir/registry.cpp.o"
+  "CMakeFiles/ghs_telemetry.dir/registry.cpp.o.d"
+  "libghs_telemetry.a"
+  "libghs_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_trace.dir/tracer.cpp.o"
+  "CMakeFiles/ghs_trace.dir/tracer.cpp.o.d"
+  "libghs_trace.a"
+  "libghs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

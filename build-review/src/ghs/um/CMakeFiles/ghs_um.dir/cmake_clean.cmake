@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_um.dir/manager.cpp.o"
+  "CMakeFiles/ghs_um.dir/manager.cpp.o.d"
+  "libghs_um.a"
+  "libghs_um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ghs_um.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ghs/util/cli.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/cli.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/cli.cpp.o.d"
+  "/root/repo/src/ghs/util/error.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/error.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/error.cpp.o.d"
+  "/root/repo/src/ghs/util/log.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/log.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/log.cpp.o.d"
+  "/root/repo/src/ghs/util/math.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/math.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/math.cpp.o.d"
+  "/root/repo/src/ghs/util/properties.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/properties.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/properties.cpp.o.d"
+  "/root/repo/src/ghs/util/strings.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/strings.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/strings.cpp.o.d"
+  "/root/repo/src/ghs/util/units.cpp" "src/ghs/util/CMakeFiles/ghs_util.dir/units.cpp.o" "gcc" "src/ghs/util/CMakeFiles/ghs_util.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_util.dir/cli.cpp.o"
+  "CMakeFiles/ghs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ghs_util.dir/error.cpp.o"
+  "CMakeFiles/ghs_util.dir/error.cpp.o.d"
+  "CMakeFiles/ghs_util.dir/log.cpp.o"
+  "CMakeFiles/ghs_util.dir/log.cpp.o.d"
+  "CMakeFiles/ghs_util.dir/math.cpp.o"
+  "CMakeFiles/ghs_util.dir/math.cpp.o.d"
+  "CMakeFiles/ghs_util.dir/properties.cpp.o"
+  "CMakeFiles/ghs_util.dir/properties.cpp.o.d"
+  "CMakeFiles/ghs_util.dir/strings.cpp.o"
+  "CMakeFiles/ghs_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ghs_util.dir/units.cpp.o"
+  "CMakeFiles/ghs_util.dir/units.cpp.o.d"
+  "libghs_util.a"
+  "libghs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghs_workload.dir/cases.cpp.o"
+  "CMakeFiles/ghs_workload.dir/cases.cpp.o.d"
+  "CMakeFiles/ghs_workload.dir/generator.cpp.o"
+  "CMakeFiles/ghs_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ghs_workload.dir/host_array.cpp.o"
+  "CMakeFiles/ghs_workload.dir/host_array.cpp.o.d"
+  "libghs_workload.a"
+  "libghs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/config_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/config_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/platform_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/platform_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/reduce_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/reduce_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sweep_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sweep_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tuner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tuner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/verify_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/verify_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_tests.dir/cpu/device_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/cpu/device_test.cpp.o.d"
+  "cpu_tests"
+  "cpu_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/breaker_test.cpp" "tests/CMakeFiles/fault_tests.dir/fault/breaker_test.cpp.o" "gcc" "tests/CMakeFiles/fault_tests.dir/fault/breaker_test.cpp.o.d"
+  "/root/repo/tests/fault/injector_test.cpp" "tests/CMakeFiles/fault_tests.dir/fault/injector_test.cpp.o" "gcc" "tests/CMakeFiles/fault_tests.dir/fault/injector_test.cpp.o.d"
+  "/root/repo/tests/fault/plan_test.cpp" "tests/CMakeFiles/fault_tests.dir/fault/plan_test.cpp.o" "gcc" "tests/CMakeFiles/fault_tests.dir/fault/plan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/fault/CMakeFiles/ghs_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tests.dir/fault/breaker_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/breaker_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/injector_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/injector_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/plan_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/plan_test.cpp.o.d"
+  "fault_tests"
+  "fault_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

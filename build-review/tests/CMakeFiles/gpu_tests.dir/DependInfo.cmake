@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/coalescing_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/coalescing_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/coalescing_test.cpp.o.d"
+  "/root/repo/tests/gpu/device_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/device_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/device_test.cpp.o.d"
+  "/root/repo/tests/gpu/occupancy_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/occupancy_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/occupancy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/gpu/CMakeFiles/ghs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/core/CMakeFiles/ghs_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/omp/CMakeFiles/ghs_omp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/cpu/CMakeFiles/ghs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/workload/CMakeFiles/ghs_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/um/CMakeFiles/ghs_um.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/trace/CMakeFiles/ghs_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/mem/CMakeFiles/ghs_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/sim/CMakeFiles/ghs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

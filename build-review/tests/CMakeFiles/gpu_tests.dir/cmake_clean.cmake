@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu/coalescing_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/coalescing_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/device_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/device_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/occupancy_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/occupancy_test.cpp.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/topology_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem/topology_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem/topology_test.cpp.o.d"
+  "/root/repo/tests/mem/transfer_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/mem/CMakeFiles/ghs_mem.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/sim/CMakeFiles/ghs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/topology_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/topology_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/transfer_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/transfer_test.cpp.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

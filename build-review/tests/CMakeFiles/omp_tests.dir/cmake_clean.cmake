@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_tests.dir/omp/env_test.cpp.o"
+  "CMakeFiles/omp_tests.dir/omp/env_test.cpp.o.d"
+  "CMakeFiles/omp_tests.dir/omp/heuristics_test.cpp.o"
+  "CMakeFiles/omp_tests.dir/omp/heuristics_test.cpp.o.d"
+  "CMakeFiles/omp_tests.dir/omp/runtime_test.cpp.o"
+  "CMakeFiles/omp_tests.dir/omp/runtime_test.cpp.o.d"
+  "omp_tests"
+  "omp_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_tests.dir/serve/chaos_service_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/chaos_service_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/loadgen_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/loadgen_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/policy_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/policy_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/queue_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/queue_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/service_model_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/service_model_test.cpp.o.d"
+  "CMakeFiles/serve_tests.dir/serve/service_test.cpp.o"
+  "CMakeFiles/serve_tests.dir/serve/service_test.cpp.o.d"
+  "serve_tests"
+  "serve_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/fluid_stress_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/fluid_stress_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/fluid_stress_test.cpp.o.d"
+  "/root/repo/tests/sim/fluid_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/fluid_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/fluid_test.cpp.o.d"
+  "/root/repo/tests/sim/server_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/server_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/server_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/sim/CMakeFiles/ghs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/telemetry/CMakeFiles/ghs_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fluid_stress_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fluid_stress_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fluid_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fluid_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/server_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/server_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/chart_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/chart_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/chart_test.cpp.o.d"
+  "/root/repo/tests/stats/series_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/series_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/series_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/table_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/table_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ghs/stats/CMakeFiles/ghs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ghs/util/CMakeFiles/ghs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

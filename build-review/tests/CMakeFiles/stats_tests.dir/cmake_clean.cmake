@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/chart_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/chart_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/series_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/series_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/table_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/table_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

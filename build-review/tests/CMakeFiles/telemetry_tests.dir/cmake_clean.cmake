@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tests.dir/telemetry/exporters_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/exporters_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/flight_recorder_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/flight_recorder_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/registry_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/registry_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/serve_telemetry_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/serve_telemetry_test.cpp.o.d"
+  "telemetry_tests"
+  "telemetry_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_tests.dir/um/manager_test.cpp.o"
+  "CMakeFiles/um_tests.dir/um/manager_test.cpp.o.d"
+  "um_tests"
+  "um_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

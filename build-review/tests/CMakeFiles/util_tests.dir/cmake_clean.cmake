@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/cli_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/error_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/error_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/log_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/log_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/math_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/math_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/properties_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/properties_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/units_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/units_test.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/cases_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/cases_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/generator_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/generator_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/host_array_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/host_array_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
