@@ -11,6 +11,7 @@
 //   $ ./bench/chaos_loadgen                        # built-in chaos plan
 //   $ ./bench/chaos_loadgen --plan=outage.plan --fault-seed=9
 //   $ ./bench/chaos_loadgen --policy=all --metrics-out=chaos.prom
+//   $ ./bench/chaos_loadgen --trace=chaos.json --slo --slo-latency-ms=0.25
 //
 // Every run asserts the zero-lost-jobs invariant: every submitted job is
 // served, rejected at admission, or shed — chaos never loses work. Two
@@ -27,9 +28,11 @@
 #include "ghs/serve/loadgen.hpp"
 #include "ghs/serve/policy.hpp"
 #include "ghs/serve/service.hpp"
+#include "ghs/slo/monitor.hpp"
 #include "ghs/telemetry/exporters.hpp"
 #include "ghs/telemetry/flight_recorder.hpp"
 #include "ghs/telemetry/registry.hpp"
+#include "ghs/trace/chrome_exporter.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
 
@@ -55,13 +58,16 @@ struct RunSettings {
   serve::ClosedLoopOptions closed_opts;
   serve::ServiceOptions service;
   std::string trace_path;
+  /// SLO objectives to evaluate per policy run; empty = no SLO section.
+  std::vector<slo::Objective> slo_objectives;
 };
 
 serve::ServiceReport run_policy(const std::string& name,
                                 serve::ServiceModel& model,
                                 const fault::FaultPlan& plan,
                                 std::uint64_t fault_seed,
-                                const RunSettings& settings) {
+                                const RunSettings& settings,
+                                std::string* slo_json) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
   // A fresh injector per policy run replays the chaos campaign from
@@ -81,7 +87,14 @@ serve::ServiceReport run_policy(const std::string& name,
   if (tracing) {
     std::ofstream out(settings.trace_path);
     GHS_REQUIRE(out.good(), "cannot write " << settings.trace_path);
-    tracer.write_chrome_json(out);
+    trace::ChromeTraceExporter(tracer).write(out);
+  }
+  if (!settings.slo_objectives.empty() && slo_json != nullptr) {
+    slo::Monitor monitor(settings.slo_objectives);
+    monitor.feed(service);
+    std::ostringstream slo_os;
+    monitor.evaluate().write_json(slo_os);
+    *slo_json = slo_os.str();
   }
   const auto report = service.report();
   // Zero-lost-jobs invariant: chaos may delay, degrade, or shed work, but
@@ -93,6 +106,19 @@ serve::ServiceReport run_policy(const std::string& name,
                                << " rejected=" << report.rejected
                                << " shed=" << report.shed);
   return report;
+}
+
+/// The stock objective set for --slo: three-nines availability plus a p99
+/// latency bound.
+std::vector<slo::Objective> default_objectives(double latency_ms) {
+  std::vector<slo::Objective> objectives;
+  objectives.push_back(
+      slo::Objective{"availability", slo::ObjectiveKind::kAvailability,
+                     0.999, 0.0});
+  objectives.push_back(
+      slo::Objective{"latency_p99", slo::ObjectiveKind::kLatencyQuantile,
+                     0.99, latency_ms});
+  return objectives;
 }
 
 }  // namespace
@@ -144,6 +170,10 @@ int main(int argc, char** argv) {
   const auto* metrics_out = cli.add_string(
       "metrics-out", "",
       "write Prometheus metrics here (+ JSON snapshot at FILE.json)");
+  const auto* slo = cli.add_flag(
+      "slo", "evaluate SLOs per policy and append an slo_report section");
+  const auto* slo_latency_ms = cli.add_double(
+      "slo-latency-ms", 1.0, "latency_p99 objective threshold, milliseconds");
   cli.parse_or_exit(argc, argv);
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -190,6 +220,7 @@ int main(int argc, char** argv) {
   settings.service.breaker.failure_threshold =
       static_cast<int>(*breaker_threshold);
   settings.service.breaker.open_duration = *breaker_open_us * kMicrosecond;
+  if (*slo) settings.slo_objectives = default_objectives(*slo_latency_ms);
 
   std::vector<std::string> policies;
   if (*policy == "all") {
@@ -230,10 +261,12 @@ int main(int argc, char** argv) {
   serve::ServiceReport bandwidth_report;
   bool have_fifo = false;
   bool have_bandwidth = false;
+  std::vector<std::string> slo_reports(policies.size());
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto report =
         run_policy(policies[i], model, plan,
-                   static_cast<std::uint64_t>(*fault_seed), settings);
+                   static_cast<std::uint64_t>(*fault_seed), settings,
+                   &slo_reports[i]);
     if (i > 0) out << ",";
     report.write_json(out);
     if (policies[i] == "fifo") {
@@ -245,6 +278,15 @@ int main(int argc, char** argv) {
     }
   }
   out << "]";
+  if (*slo) {
+    out << ",\"slo_report\":[";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"policy\":\"" << policies[i] << "\",\"slo\":"
+          << slo_reports[i] << "}";
+    }
+    out << "]";
+  }
   if (have_fifo && have_bandwidth &&
       fifo_report.throughput_gbps > 0.0) {
     char buf[64];

@@ -10,6 +10,11 @@
 #                                 # concurrency contract)
 #   $ scripts/check.sh chaos      # fault-injection suite under ASan+UBSan
 #                                 # (breaker/injector/chaos-service tests)
+#   $ scripts/check.sh slo        # tracing + SLO suite under ASan+UBSan
+#                                 # (span trees, exporters, burn-rate math)
+#
+# The release config also runs scripts/perf_gate.py against the checked-in
+# bench baseline after the tests pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,8 +48,14 @@ for config in "${configs[@]}"; do
       target="fault_tests serve_tests"
       test_regex="fault_tests|serve_tests"
       ;;
+    slo)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target="trace_tests slo_tests"
+      test_regex="trace_tests|slo_tests"
+      ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry|chaos)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos|slo)" >&2
       exit 2
       ;;
   esac
@@ -62,6 +73,10 @@ for config in "${configs[@]}"; do
     ctest --test-dir "$dir" --output-on-failure -j "$jobs" -R "$test_regex"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
+  if [[ "$config" == release ]]; then
+    echo "==> perf gate ($config)"
+    python3 scripts/perf_gate.py --bindir "$dir/bench"
   fi
 done
 echo "==> all green"

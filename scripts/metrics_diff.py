@@ -40,9 +40,11 @@ def load(path):
 def flatten(snapshot):
     """One {instrument: numeric value} map per snapshot.
 
-    Histograms contribute their count and sum; bucket shapes are compared
-    only when counts differ (a same-count, different-bucket histogram is
-    still reported through the sum).
+    Histograms contribute their count, sum, and per-bucket counts. The
+    "exemplars" sub-object is deliberately excluded: exemplar trace_ids
+    name whichever trace last landed in a bucket, so two behaviourally
+    identical runs of differently-traced builds may disagree on them —
+    they are debugging breadcrumbs, not metric values.
     """
     values = {}
     for name, value in snapshot["counters"].items():
@@ -52,6 +54,8 @@ def flatten(snapshot):
     for name, hist in snapshot["histograms"].items():
         values[f"histogram {name} count"] = float(hist["count"])
         values[f"histogram {name} sum"] = float(hist["sum"])
+        for le, bucket_count in hist.get("buckets", {}).items():
+            values[f"histogram {name} le={le}"] = float(bucket_count)
     return values
 
 

@@ -1,5 +1,6 @@
 #include "ghs/serve/device_pool.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -142,6 +143,43 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
                     begin, end,
                     std::to_string(total_elements) + " elements, launch " +
                         std::to_string(launch_id));
+    // Causal layer: one serve.execute child per job under its root span,
+    // and — on success — the device-level grandchildren (the page
+    // migration share first for unified launches, then the kernel), so a
+    // job's trace tree reaches all the way into the simulated hardware.
+    SimTime kernel_begin = begin;
+    if (!failed && unified) {
+      const SimTime share = std::min(
+          model_.unified_migration_share(case_id, total_elements, tuning),
+          service);
+      kernel_begin = begin + share;
+    }
+    for (const auto& job : jobs) {
+      if (!job.ctx.valid()) continue;
+      const trace::Context exec_ctx = job.ctx.child(tracer_->new_span_id());
+      tracer_->record(trace::Track::kJobs, "serve.execute", begin, end,
+                      std::string("device=") + placement_name(device) +
+                          " retry=" + std::to_string(job.attempt) +
+                          " batch=" + std::to_string(jobs.size()) +
+                          " launch=" + std::to_string(launch_id) +
+                          (failed ? " failed" : ""),
+                      exec_ctx);
+      if (failed) continue;
+      if (device == Placement::kGpu) {
+        if (unified && kernel_begin > begin) {
+          tracer_->record(trace::Track::kUmMigration, "um.migrate", begin,
+                          kernel_begin, "launch=" + std::to_string(launch_id),
+                          exec_ctx.child(tracer_->new_span_id()));
+        }
+        tracer_->record(trace::Track::kGpu, "gpu.kernel", kernel_begin, end,
+                        "launch=" + std::to_string(launch_id),
+                        exec_ctx.child(tracer_->new_span_id()));
+      } else {
+        tracer_->record(trace::Track::kCpu, "cpu.reduce", begin, end,
+                        "launch=" + std::to_string(launch_id),
+                        exec_ctx.child(tracer_->new_span_id()));
+      }
+    }
   }
 
   LaunchResult result;

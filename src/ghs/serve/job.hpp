@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "ghs/trace/context.hpp"
 #include "ghs/util/units.hpp"
 #include "ghs/workload/cases.hpp"
 
@@ -34,6 +35,13 @@ struct Job {
   /// Failed-launch retries already spent on this job (0 = first attempt).
   /// Maintained by the service's retry machinery; tenants leave it at 0.
   int attempt = 0;
+  /// Root span context of the job's trace, assigned at admission when the
+  /// service runs with a tracer; tenants leave it default. Invalid (all
+  /// zeros) on untraced runs, so trace-off behaviour is unchanged.
+  trace::Context ctx;
+  /// When the job last entered the admission queue (arrival, or the requeue
+  /// instant for a retry). Service bookkeeping for the serve.queue span.
+  SimTime enqueued = 0;
 
   Bytes bytes() const {
     return elements * workload::case_spec(case_id).element_size;

@@ -190,11 +190,21 @@ void ReductionService::set_on_complete(
 
 void ReductionService::run() { sim_.run(); }
 
-void ReductionService::on_arrival(const Job& job) {
+void ReductionService::on_arrival(const Job& arrived) {
   ++submitted_;
   if (m_submitted_ != nullptr) m_submitted_->inc();
+  // With a tracer attached every job opens a trace at admission: the root
+  // context rides the Job through queue, placement, retries, and the device
+  // pool, so each child span can name its parent deterministically.
+  Job job = arrived;
+  if (tracer_ != nullptr && !job.ctx.valid()) {
+    job.ctx = trace::Context{trace::derive_trace_id(job.id),
+                             tracer_->new_span_id(), 0};
+  }
+  job.enqueued = sim_.now();
   if (!queue_.push(job)) {
     rejected_.push_back(job);
+    rejected_at_.push_back(sim_.now());
     if (m_rejected_ != nullptr) m_rejected_->inc();
     if (flight_ != nullptr) {
       flight_->record(sim_.now(), "serve", "rejection",
@@ -206,6 +216,7 @@ void ReductionService::on_arrival(const Job& job) {
                     std::string("reject ") +
                         workload::case_spec(job.case_id).name,
                     sim_.now());
+      record_root_span(job, sim_.now(), "rejected", "");
     }
     return;
   }
@@ -215,6 +226,10 @@ void ReductionService::on_arrival(const Job& job) {
                     std::string(workload::case_spec(job.case_id).name) +
                         " job " + std::to_string(job.id) +
                         (job.unified ? " unified" : ""));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->mark(trace::Track::kJobs, "serve.admit", sim_.now(),
+                  job.ctx.child(tracer_->new_span_id()));
   }
   update_queue_gauge();
   dispatch_all();
@@ -293,6 +308,18 @@ void ReductionService::dispatch(Placement device) {
                             fault::breaker_state_name(gpu_breaker_.state()));
       }
     }
+    if (tracer_ != nullptr) {
+      // One serve.queue child per job in the batch: from its last enqueue
+      // (arrival, or the requeue instant of a retry) to this dispatch.
+      for (const Job& queued : batch) {
+        if (!queued.ctx.valid()) continue;
+        tracer_->record(
+            trace::Track::kJobs, "serve.queue", queued.enqueued, sim_.now(),
+            "attempt=" + std::to_string(queued.attempt) +
+                (fallback ? " fallback=cpu" : ""),
+            queued.ctx.child(tracer_->new_span_id()));
+      }
+    }
     const core::ReduceTuning tuning = device == Placement::kGpu
                                           ? policy_->geometry(batch.front())
                                           : core::ReduceTuning{};
@@ -320,11 +347,41 @@ void ReductionService::on_launch_complete(const LaunchResult& result) {
     records_.push_back(record);
     if (m_completed_ != nullptr) m_completed_->inc();
     if (m_latency_ms_ != nullptr) {
-      m_latency_ms_->observe(to_ms(record.latency()));
-      m_queue_wait_ms_->observe(to_ms(record.queue_wait()));
+      // Traced runs attach the job's trace id as an exemplar, so a fat
+      // latency bucket names the span tree that filled it; untraced runs
+      // keep the plain (pre-exemplar) observation path.
+      if (record.job.ctx.valid()) {
+        m_latency_ms_->observe_exemplar(to_ms(record.latency()),
+                                        record.job.ctx.trace_id);
+        m_queue_wait_ms_->observe_exemplar(to_ms(record.queue_wait()),
+                                           record.job.ctx.trace_id);
+      } else {
+        m_latency_ms_->observe(to_ms(record.latency()));
+        m_queue_wait_ms_->observe(to_ms(record.queue_wait()));
+      }
+    }
+    if (tracer_ != nullptr) {
+      record_root_span(record.job, record.completion, "served",
+                       placement_name(record.placement));
     }
     if (on_complete_) on_complete_(record);
   }
+}
+
+void ReductionService::record_root_span(const Job& job, SimTime end,
+                                        const char* outcome,
+                                        const char* device) {
+  if (tracer_ == nullptr || !job.ctx.valid()) return;
+  std::string detail = std::string("case=") +
+                       workload::case_spec(job.case_id).name +
+                       " elements=" + std::to_string(job.elements) +
+                       " outcome=" + outcome +
+                       " retries=" + std::to_string(job.attempt);
+  if (device[0] != '\0') detail += std::string(" device=") + device;
+  if (job.unified) detail += " unified";
+  tracer_->record(trace::Track::kJobs,
+                  "serve.job #" + std::to_string(job.id), job.arrival, end,
+                  detail, job.ctx);
 }
 
 void ReductionService::handle_failed_job(const Job& job) {
@@ -362,6 +419,12 @@ void ReductionService::handle_failed_job(const Job& job) {
   }
   Job again = job;
   ++again.attempt;
+  if (tracer_ != nullptr && again.ctx.valid()) {
+    tracer_->record(trace::Track::kJobs, "serve.retry_backoff", now,
+                    retry_at, "retry=" + std::to_string(again.attempt),
+                    again.ctx.child(tracer_->new_span_id()));
+  }
+  again.enqueued = retry_at;
   sim_.schedule_at(retry_at, [this, again]() {
     if (!queue_.push(again)) {
       shed_job(again, "requeue refused (queue full)");
@@ -374,6 +437,7 @@ void ReductionService::handle_failed_job(const Job& job) {
 
 void ReductionService::shed_job(const Job& job, const char* reason) {
   shed_.push_back(job);
+  shed_at_.push_back(sim_.now());
   if (m_shed_ != nullptr) m_shed_->inc();
   if (flight_ != nullptr) {
     flight_->record(sim_.now(), "serve", "shed",
@@ -382,6 +446,7 @@ void ReductionService::shed_job(const Job& job, const char* reason) {
   if (tracer_ != nullptr) {
     tracer_->mark(trace::Track::kServer,
                   "shed " + std::to_string(job.id), sim_.now());
+    record_root_span(job, sim_.now(), "shed", "");
   }
 }
 
@@ -408,6 +473,12 @@ void ReductionService::on_breaker_transition(Placement device,
                     std::string(placement_name(device)) + " " +
                         fault::breaker_state_name(from) + " -> " +
                         fault::breaker_state_name(to));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->mark(trace::Track::kServer,
+                  std::string("serve.breaker ") + placement_name(device) +
+                      " " + fault::breaker_state_name(to),
+                  at);
   }
 }
 

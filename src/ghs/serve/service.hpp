@@ -154,6 +154,11 @@ class ReductionService {
   const std::vector<Job>& rejected_jobs() const { return rejected_; }
   /// Jobs dropped by the retry machinery (fault runs only).
   const std::vector<Job>& shed_jobs() const { return shed_; }
+  /// Simulated instants the corresponding rejected_/shed_ entry was
+  /// dropped at (same index), so SLO monitors can place bad events in
+  /// time.
+  const std::vector<SimTime>& rejected_times() const { return rejected_at_; }
+  const std::vector<SimTime>& shed_times() const { return shed_at_; }
   const AdmissionQueue& queue() const { return queue_; }
   const DevicePool& pool() const { return pool_; }
   SchedulerPolicy& policy() { return *policy_; }
@@ -178,6 +183,10 @@ class ReductionService {
   void on_launch_complete(const LaunchResult& result);
   void handle_failed_job(const Job& job);
   void shed_job(const Job& job, const char* reason);
+  /// Closes the job's trace with its serve.job root span (traced runs
+  /// only). `device` is empty for jobs that never served.
+  void record_root_span(const Job& job, SimTime end, const char* outcome,
+                        const char* device);
   void schedule_breaker_wake(Placement device, SimTime at);
   void on_breaker_transition(Placement device, fault::BreakerState from,
                              fault::BreakerState to, SimTime at);
@@ -198,6 +207,8 @@ class ReductionService {
   std::vector<JobRecord> records_;
   std::vector<Job> rejected_;
   std::vector<Job> shed_;
+  std::vector<SimTime> rejected_at_;
+  std::vector<SimTime> shed_at_;
   std::function<void(const JobRecord&)> on_complete_;
   std::int64_t submitted_ = 0;
   std::int64_t retries_ = 0;

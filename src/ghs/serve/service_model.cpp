@@ -80,6 +80,14 @@ SimTime ServiceModel::unified_gpu_service(workload::CaseId case_id,
   return duration;
 }
 
+SimTime ServiceModel::unified_migration_share(workload::CaseId case_id,
+                                              std::int64_t elements,
+                                              const core::ReduceTuning& tuning) {
+  const SimTime unified = unified_gpu_service(case_id, elements, tuning);
+  const SimTime explicit_map = gpu_service(case_id, elements, tuning);
+  return unified > explicit_map ? unified - explicit_map : 0;
+}
+
 SimTime ServiceModel::cpu_service(workload::CaseId case_id,
                                   std::int64_t elements) {
   const Key key{1, static_cast<int>(case_id), elements, 0, 0, 0, 0};

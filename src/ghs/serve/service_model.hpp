@@ -51,6 +51,15 @@ class ServiceModel {
   SimTime unified_gpu_service(workload::CaseId case_id, std::int64_t elements,
                               const core::ReduceTuning& tuning);
 
+  /// The page-migration share of unified_gpu_service for the shape: the
+  /// amortised unified cost minus the explicit-map kernel cost, clamped at
+  /// zero. Both components are memoised, so this prices from the cache.
+  /// The tracer uses it to split a unified launch into its um.migrate and
+  /// gpu.kernel child spans.
+  SimTime unified_migration_share(workload::CaseId case_id,
+                                  std::int64_t elements,
+                                  const core::ReduceTuning& tuning);
+
   const ServiceModelOptions& options() const { return options_; }
 
   /// Shape-cache effectiveness (one miss = one substrate simulation).

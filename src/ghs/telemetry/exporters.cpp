@@ -29,6 +29,14 @@ std::string with_le(const std::string& labels, const std::string& le) {
   return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
 }
 
+// Exemplar trace ids render as fixed-width hex, matching trace::id_hex.
+std::string hex16(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 void write_escaped_json(std::ostream& os, const std::string& text) {
   for (char c : text) {
     if (c == '"' || c == '\\') os << '\\';
@@ -72,13 +80,22 @@ void write_prometheus(std::ostream& os, const Registry& registry,
       case Kind::kHistogram: {
         const auto& bounds = view.histogram->bounds();
         const auto cumulative = view.histogram->cumulative_counts();
+        const bool exemplars =
+            options.include_exemplars && view.histogram->has_exemplars();
+        const auto exemplar_suffix = [&](std::size_t index) {
+          if (!exemplars) return std::string{};
+          const Exemplar exemplar = view.histogram->exemplar(index);
+          if (exemplar.trace_id == 0) return std::string{};
+          return " # {trace_id=\"" + hex16(exemplar.trace_id) + "\"} " +
+                 fixed6(exemplar.value);
+        };
         for (std::size_t i = 0; i < bounds.size(); ++i) {
           os << view.name << "_bucket"
              << with_le(view.labels, compact(bounds[i])) << " "
-             << cumulative[i] << "\n";
+             << cumulative[i] << exemplar_suffix(i) << "\n";
         }
         os << view.name << "_bucket" << with_le(view.labels, "+Inf") << " "
-           << cumulative.back() << "\n";
+           << cumulative.back() << exemplar_suffix(bounds.size()) << "\n";
         os << view.name << "_sum" << view.labels << " "
            << fixed6(view.histogram->sum()) << "\n";
         os << view.name << "_count" << view.labels << " "
@@ -127,7 +144,26 @@ void write_json_snapshot(std::ostream& os, const Registry& registry,
             os << "\"" << compact(bounds[i]) << "\":" << cumulative[i]
                << ",";
           }
-          os << "\"+Inf\":" << cumulative.back() << "}}";
+          os << "\"+Inf\":" << cumulative.back() << "}";
+          // Exemplars are additive: an exemplar-free histogram keeps the
+          // pre-exemplar snapshot bytes.
+          if (options.include_exemplars && view.histogram->has_exemplars()) {
+            os << ",\"exemplars\":{";
+            bool first_exemplar = true;
+            for (std::size_t i = 0; i <= bounds.size(); ++i) {
+              const Exemplar exemplar = view.histogram->exemplar(i);
+              if (exemplar.trace_id == 0) continue;
+              if (!first_exemplar) os << ",";
+              first_exemplar = false;
+              os << "\""
+                 << (i < bounds.size() ? compact(bounds[i])
+                                       : std::string("+Inf"))
+                 << "\":{\"trace_id\":\"" << hex16(exemplar.trace_id)
+                 << "\",\"value\":" << fixed6(exemplar.value) << "}";
+            }
+            os << "}";
+          }
+          os << "}";
           break;
         }
       }

@@ -65,7 +65,8 @@ std::string label_suffix(const Labels& labels) {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
-      buckets_(new std::atomic<std::int64_t>[bounds_.size() + 1]) {
+      buckets_(new std::atomic<std::int64_t>[bounds_.size() + 1]),
+      exemplars_(bounds_.size() + 1) {
   GHS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
                       bounds_.end(),
@@ -84,6 +85,24 @@ void Histogram::observe(double value) {
   while (!sum_.compare_exchange_weak(current, current + value,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::observe_exemplar(double value, std::uint64_t trace_id) {
+  observe(value);
+  if (trace_id == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    exemplars_[index] = Exemplar{trace_id, value};
+  }
+  has_exemplars_.store(true, std::memory_order_relaxed);
+}
+
+Exemplar Histogram::exemplar(std::size_t index) const {
+  GHS_REQUIRE(index <= bounds_.size(), "exemplar index " << index);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return exemplars_[index];
 }
 
 std::int64_t Histogram::bucket_count(std::size_t index) const {

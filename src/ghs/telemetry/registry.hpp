@@ -74,12 +74,35 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One trace exemplar kept per histogram bucket: the most recent sample
+/// that landed there, tagged with the trace it came from, so a fat p99
+/// bucket names the exact trace to open. trace_id 0 = no exemplar yet.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0.0;
+};
+
 /// Fixed-bucket distribution. `bounds` are strictly increasing inclusive
 /// upper bounds; one implicit +Inf bucket catches the overflow. Prometheus
 /// `le` semantics: a value lands in the first bucket whose bound >= value.
 class Histogram {
  public:
   void observe(double value);
+
+  /// observe() plus an exemplar: remembers (trace_id, value) for the bucket
+  /// the sample lands in (last sample wins, which is deterministic in the
+  /// single-threaded simulation). trace_id 0 degrades to plain observe().
+  void observe_exemplar(double value, std::uint64_t trace_id);
+
+  /// Exemplar for bucket `index` (bounds().size() = the +Inf bucket);
+  /// trace_id 0 when the bucket has none.
+  Exemplar exemplar(std::size_t index) const;
+  /// Whether any bucket holds an exemplar; exporters key their (gated)
+  /// exemplar output off this so exemplar-free output is byte-identical to
+  /// pre-exemplar builds.
+  bool has_exemplars() const {
+    return has_exemplars_.load(std::memory_order_relaxed);
+  }
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) count; index bounds().size() is +Inf.
@@ -103,6 +126,11 @@ class Histogram {
   std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds_.size()+1
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // Exemplars ride the slow path only: the mutex is touched exclusively by
+  // observe_exemplar()/exemplar(), never by plain observe().
+  mutable std::mutex exemplar_mutex_;
+  std::vector<Exemplar> exemplars_;  // sized bounds_.size()+1
+  std::atomic<bool> has_exemplars_{false};
 };
 
 /// Default latency buckets in milliseconds (serve-layer histograms).

@@ -1,0 +1,202 @@
+#include "ghs/trace/chrome_exporter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace ghs::trace {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+double to_trace_us(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace
+
+ChromeTraceExporter::ChromeTraceExporter(const Tracer& tracer,
+                                         ChromeTraceOptions options)
+    : tracer_(tracer), options_(options) {}
+
+int ChromeTraceExporter::process_of(Track track) {
+  switch (track) {
+    case Track::kGpu:
+    case Track::kGpuWaves:
+    case Track::kUmMigration:
+      return 1;
+    case Track::kCpu:
+      return 2;
+    case Track::kRuntime:
+    case Track::kServer:
+    case Track::kJobs:
+      return 3;
+  }
+  return 3;
+}
+
+const char* ChromeTraceExporter::process_name(int pid) {
+  switch (pid) {
+    case 1:
+      return "H100 GPU";
+    case 2:
+      return "Grace CPU";
+    case 3:
+      return "Reduction service";
+  }
+  return "?";
+}
+
+void ChromeTraceExporter::write(std::ostream& os) const {
+  const auto spans = tracer_.spans();
+  const auto instants = tracer_.instants();
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&]() {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Process and thread metadata: every track gets its (pid, tid) label so
+  // the viewer groups devices even before their first event.
+  for (int pid = 1; pid <= 3; ++pid) {
+    sep();
+    os << "{\"pid\":" << pid
+       << ",\"tid\":0,\"ph\":\"M\",\"name\":\"process_name\",\"args\":"
+       << "{\"name\":\"" << process_name(pid) << "\"}}";
+  }
+  for (int t = 0; t <= static_cast<int>(kLastTrack); ++t) {
+    const Track track = static_cast<Track>(t);
+    sep();
+    os << "{\"pid\":" << process_of(track) << ",\"tid\":" << t
+       << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << track_name(track) << "\"}}";
+  }
+
+  const auto write_ctx_args = [&](const Context& ctx,
+                                  const std::string& detail) {
+    os << ",\"args\":{";
+    bool inner_first = true;
+    const auto key = [&](const char* name) {
+      if (!inner_first) os << ",";
+      inner_first = false;
+      os << "\"" << name << "\":";
+    };
+    if (!detail.empty()) {
+      key("detail");
+      os << "\"";
+      write_escaped(os, detail);
+      os << "\"";
+    }
+    if (ctx.valid()) {
+      key("trace_id");
+      os << "\"" << id_hex(ctx.trace_id) << "\"";
+      key("span_id");
+      os << ctx.span_id;
+      key("parent_id");
+      os << ctx.parent_id;
+    }
+    os << "}";
+  };
+
+  for (const auto& span : spans) {
+    sep();
+    os << "{\"pid\":" << process_of(span.track)
+       << ",\"tid\":" << static_cast<int>(span.track)
+       << ",\"ph\":\"X\",\"ts\":" << to_trace_us(span.begin)
+       << ",\"dur\":" << to_trace_us(span.end - span.begin) << ",\"name\":\"";
+    write_escaped(os, span.name);
+    os << "\"";
+    if (!span.detail.empty() || span.ctx.valid()) {
+      write_ctx_args(span.ctx, span.detail);
+    }
+    os << "}";
+  }
+  for (const auto& instant : instants) {
+    sep();
+    os << "{\"pid\":" << process_of(instant.track)
+       << ",\"tid\":" << static_cast<int>(instant.track)
+       << ",\"ph\":\"i\",\"ts\":" << to_trace_us(instant.at)
+       << ",\"s\":\"t\",\"name\":\"";
+    write_escaped(os, instant.name);
+    os << "\"";
+    if (instant.ctx.valid()) {
+      write_ctx_args(instant.ctx, {});
+    }
+    os << "}";
+  }
+
+  if (options_.flow_events) {
+    // One flow per trace id, stepping through its spans in begin order
+    // (record order breaks ties, keeping the file deterministic): the
+    // viewer draws arrows queue -> execute across device processes.
+    std::map<std::uint64_t, std::vector<const Span*>> flows;
+    for (const auto& span : spans) {
+      if (span.ctx.valid()) flows[span.ctx.trace_id].push_back(&span);
+    }
+    for (const auto& [trace_id, members] : flows) {
+      if (members.size() < 2) continue;
+      std::vector<const Span*> ordered = members;
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [](const Span* a, const Span* b) {
+                         return a->begin < b->begin;
+                       });
+      for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+        const Span* from = ordered[i];
+        const Span* to = ordered[i + 1];
+        sep();
+        os << "{\"pid\":" << process_of(from->track)
+           << ",\"tid\":" << static_cast<int>(from->track)
+           << ",\"ph\":\"s\",\"id\":\"" << id_hex(trace_id)
+           << "\",\"cat\":\"job\",\"name\":\"job flow\",\"ts\":"
+           << to_trace_us(from->begin) << "}";
+        sep();
+        os << "{\"pid\":" << process_of(to->track)
+           << ",\"tid\":" << static_cast<int>(to->track)
+           << ",\"ph\":\"f\",\"bp\":\"e\",\"id\":\"" << id_hex(trace_id)
+           << "\",\"cat\":\"job\",\"name\":\"job flow\",\"ts\":"
+           << to_trace_us(to->begin) << "}";
+      }
+    }
+  }
+
+  os << "]}";
+}
+
+}  // namespace ghs::trace

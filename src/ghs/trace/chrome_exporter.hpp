@@ -1,0 +1,44 @@
+// ChromeTraceExporter: the richer Chrome/Perfetto export over a Tracer.
+//
+// Where Tracer::write_chrome_json draws every track inside one process,
+// this exporter maps the capture the way Perfetto expects a real system
+// trace: one *process* per device (H100 GPU, Grace CPU, reduction
+// service), one *thread* per track, span-context ids rendered into each
+// event's args, and flow events stitching the spans of one trace together
+// (queue wait on the service process -> execute on a device process), so
+// following a single job across devices is one click in the viewer.
+//
+// Output is deterministic: events are emitted in recording order and flow
+// groups in trace-id order, so two runs of the same (plan, seed) write
+// byte-identical files.
+#pragma once
+
+#include <ostream>
+
+#include "ghs/trace/tracer.hpp"
+
+namespace ghs::trace {
+
+struct ChromeTraceOptions {
+  /// Emit "s"/"f" flow events linking same-trace spans across tracks.
+  bool flow_events = true;
+};
+
+class ChromeTraceExporter {
+ public:
+  explicit ChromeTraceExporter(const Tracer& tracer,
+                               ChromeTraceOptions options = {});
+
+  void write(std::ostream& os) const;
+
+  /// Process ("pid") a track renders under: 1 = H100 GPU, 2 = Grace CPU,
+  /// 3 = reduction service / runtime.
+  static int process_of(Track track);
+  static const char* process_name(int pid);
+
+ private:
+  const Tracer& tracer_;
+  ChromeTraceOptions options_;
+};
+
+}  // namespace ghs::trace

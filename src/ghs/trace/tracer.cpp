@@ -3,8 +3,22 @@
 #include <cstdio>
 
 #include "ghs/util/error.hpp"
+#include "ghs/util/rng.hpp"
 
 namespace ghs::trace {
+
+std::uint64_t derive_trace_id(std::int64_t key) {
+  std::uint64_t state = static_cast<std::uint64_t>(key) + 1;
+  const std::uint64_t id = splitmix64(state);
+  return id == 0 ? 1 : id;
+}
+
+std::string id_hex(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 const char* track_name(Track track) {
   switch (track) {
@@ -20,26 +34,67 @@ const char* track_name(Track track) {
       return "OpenMP runtime";
     case Track::kServer:
       return "Reduction service";
+    case Track::kJobs:
+      return "Job spans";
   }
   return "?";
 }
 
-void Tracer::record(Track track, std::string name, SimTime begin, SimTime end,
-                    std::string detail) {
-  GHS_REQUIRE(begin >= 0 && end >= begin,
-              "span '" << name << "' has begin=" << begin << " end=" << end);
-  spans_.push_back(Span{track, std::move(name), begin, end,
-                        std::move(detail)});
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  GHS_REQUIRE(capacity_ > 0, "tracer capacity must be positive");
 }
 
-void Tracer::mark(Track track, std::string name, SimTime at) {
+void Tracer::record(Track track, std::string name, SimTime begin, SimTime end,
+                    std::string detail, Context ctx) {
+  GHS_REQUIRE(begin >= 0 && end >= begin,
+              "span '" << name << "' has begin=" << begin << " end=" << end);
+  Span span{track, std::move(name), begin, end, std::move(detail), ctx};
+  if (span_ring_.size() < capacity_) {
+    span_ring_.push_back(std::move(span));
+  } else {
+    span_ring_[span_next_] = std::move(span);
+    span_next_ = (span_next_ + 1) % capacity_;
+    ++dropped_spans_;
+  }
+}
+
+void Tracer::mark(Track track, std::string name, SimTime at, Context ctx) {
   GHS_REQUIRE(at >= 0, "instant '" << name << "' at " << at);
-  instants_.push_back(Instant{track, std::move(name), at});
+  Instant instant{track, std::move(name), at, ctx};
+  if (instant_ring_.size() < capacity_) {
+    instant_ring_.push_back(std::move(instant));
+  } else {
+    instant_ring_[instant_next_] = std::move(instant);
+    instant_next_ = (instant_next_ + 1) % capacity_;
+    ++dropped_instants_;
+  }
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  out.reserve(span_ring_.size());
+  for (std::size_t i = 0; i < span_ring_.size(); ++i) {
+    out.push_back(span_ring_[(span_next_ + i) % span_ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Instant> Tracer::instants() const {
+  std::vector<Instant> out;
+  out.reserve(instant_ring_.size());
+  for (std::size_t i = 0; i < instant_ring_.size(); ++i) {
+    out.push_back(instant_ring_[(instant_next_ + i) % instant_ring_.size()]);
+  }
+  return out;
 }
 
 void Tracer::clear() {
-  spans_.clear();
-  instants_.clear();
+  span_ring_.clear();
+  instant_ring_.clear();
+  span_next_ = 0;
+  instant_next_ = 0;
+  dropped_spans_ = 0;
+  dropped_instants_ = 0;
 }
 
 namespace {
@@ -102,14 +157,14 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     os << "\"";
   };
   // Thread-name metadata so the viewer labels the tracks.
-  for (int t = 0; t <= static_cast<int>(Track::kServer); ++t) {
+  for (int t = 0; t <= static_cast<int>(kLastTrack); ++t) {
     if (!first) os << ",";
     first = false;
     os << "{\"pid\":1,\"tid\":" << t
        << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\""
        << track_name(static_cast<Track>(t)) << "\"}}";
   }
-  for (const auto& span : spans_) {
+  for (const auto& span : spans()) {
     emit_common(span.track, span.name, "X", to_trace_us(span.begin));
     os << ",\"dur\":" << to_trace_us(span.end - span.begin);
     if (!span.detail.empty()) {
@@ -119,7 +174,7 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     }
     os << "}";
   }
-  for (const auto& instant : instants_) {
+  for (const auto& instant : instants()) {
     emit_common(instant.track, instant.name, "i", to_trace_us(instant.at));
     os << ",\"s\":\"t\"}";
   }

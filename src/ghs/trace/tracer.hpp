@@ -7,6 +7,14 @@
 // Tracing is opt-in: devices hold a Tracer pointer that is null by default,
 // and every record call no-ops when disabled, so the hot simulation paths
 // pay one branch.
+//
+// Spans may carry a trace::Context (trace/span/parent ids); the serving
+// layer threads one context tree through each job's admission, queue wait,
+// retries, and device execution, so a request renders as one causally
+// linked tree (see chrome_exporter.hpp). Retention is bounded the same way
+// as telemetry::FlightRecorder: the tracer keeps the most recent `capacity`
+// spans (and instants), dropping the oldest and counting the drops, so
+// long chaos runs cannot grow memory without limit.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "ghs/trace/context.hpp"
 #include "ghs/util/units.hpp"
 
 namespace ghs::trace {
@@ -28,7 +37,12 @@ enum class Track : std::uint8_t {
   /// Request-serving layer (ghs::serve): per-launch spans and admission
   /// markers of the multi-tenant scheduler.
   kServer = 5,
+  /// Per-job causal span trees (serve.job / serve.queue / serve.execute
+  /// and their device children), one trace per served request.
+  kJobs = 6,
 };
+
+inline constexpr Track kLastTrack = Track::kJobs;
 
 const char* track_name(Track track);
 
@@ -39,36 +53,63 @@ struct Span {
   SimTime end = 0;
   /// Optional free-form detail rendered into the event's args.
   std::string detail;
+  /// Optional causal identity; default (all zeros) = context-free span.
+  Context ctx;
 };
 
 struct Instant {
   Track track;
   std::string name;
   SimTime at = 0;
+  Context ctx;
 };
 
 class Tracer {
  public:
+  /// Spans and instants each keep at most `capacity` entries, oldest
+  /// dropped first. The default is large enough that every workload in the
+  /// repository retains everything; chaos soak runs rely on the bound.
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
   /// Records a completed span; begin <= end required.
   void record(Track track, std::string name, SimTime begin, SimTime end,
-              std::string detail = {});
+              std::string detail = {}, Context ctx = {});
 
   /// Records a zero-duration marker.
-  void mark(Track track, std::string name, SimTime at);
+  void mark(Track track, std::string name, SimTime at, Context ctx = {});
 
-  const std::vector<Span>& spans() const { return spans_; }
-  const std::vector<Instant>& instants() const { return instants_; }
-  std::size_t size() const { return spans_.size() + instants_.size(); }
+  /// Hands out the next span id (1, 2, 3, ...). Ids are deterministic for
+  /// a deterministic record sequence, which keeps trace files byte-stable
+  /// across same-seed runs.
+  std::uint64_t new_span_id() { return ++last_span_id_; }
+
+  /// Retained entries, oldest first (a snapshot: the tracer is a bounded
+  /// ring, so older entries may already have been dropped).
+  std::vector<Span> spans() const;
+  std::vector<Instant> instants() const;
+  std::size_t size() const { return span_ring_.size() + instant_ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Entries lost to the ring bound, spans + instants.
+  std::int64_t dropped_total() const { return dropped_spans_ + dropped_instants_; }
   void clear();
 
   /// Writes Chrome trace-event JSON (the "traceEvents" array format).
   /// Simulated picoseconds are exported as microseconds scaled by 1e-6 so
-  /// nanosecond-scale events stay visible in the viewer.
+  /// nanosecond-scale events stay visible in the viewer. For the richer
+  /// per-device export with flow events, see ChromeTraceExporter.
   void write_chrome_json(std::ostream& os) const;
 
  private:
-  std::vector<Span> spans_;
-  std::vector<Instant> instants_;
+  const std::size_t capacity_;
+  std::vector<Span> span_ring_;       // grows to capacity_, then wraps
+  std::vector<Instant> instant_ring_;
+  std::size_t span_next_ = 0;         // oldest entry once wrapped
+  std::size_t instant_next_ = 0;
+  std::int64_t dropped_spans_ = 0;
+  std::int64_t dropped_instants_ = 0;
+  std::uint64_t last_span_id_ = 0;
 };
 
 /// Helper for the devices: records only when the tracer is non-null.
