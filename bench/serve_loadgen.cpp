@@ -8,6 +8,8 @@
 //   $ ./bench/serve_loadgen --policy=bandwidth --rate=200000 --jobs=500
 //   $ ./bench/serve_loadgen --trace=serve.json      # Chrome-trace timeline
 //   $ ./bench/serve_loadgen --slo --slo-latency-ms=0.5   # burn-rate report
+//   $ ./bench/serve_loadgen --queue=calendar --perf # event-core throughput
+//   $ ./bench/serve_loadgen --trace=t.json --trace-sample=0.01  # 1% of jobs
 //
 // The report is one JSON object: "workload" echoes the generator settings,
 // "policies" holds one serve report per policy (p50/p95/p99 latency and
@@ -30,6 +32,7 @@
 #include "ghs/trace/chrome_exporter.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
+#include "serve_perf.hpp"
 
 namespace {
 
@@ -41,6 +44,9 @@ struct RunSettings {
   serve::ClosedLoopOptions closed_opts;
   serve::ServiceOptions service;
   std::string trace_path;
+  /// Head-sampling rate for the tracer; 1.0 keeps every span (and leaves
+  /// the trace file byte-identical to a sampler-free run).
+  double trace_sample = 1.0;
   /// SLO objectives to evaluate per policy run; empty = no SLO section.
   std::vector<slo::Objective> slo_objectives;
 };
@@ -48,17 +54,40 @@ struct RunSettings {
 serve::ServiceReport run_policy(const std::string& name,
                                 serve::ServiceModel& model,
                                 const RunSettings& settings,
-                                std::string* slo_json) {
+                                std::string* slo_json,
+                                bench::PerfSample* perf) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
+  tracer.set_sampler(
+      trace::SamplerOptions{settings.trace_sample, settings.open.seed});
   serve::ReductionService service(serve::make_policy(name, model), model,
                                   settings.service,
                                   tracing ? &tracer : nullptr);
+  const bench::WallTimer timer;
   if (settings.closed) {
     serve::run_closed_loop(service, settings.closed_opts);
   } else {
     service.submit_all(serve::open_loop_poisson(settings.open));
     service.run();
+  }
+  if (perf != nullptr) {
+    perf->policy = name;
+    perf->queue = service.sim().queue_kind();
+    perf->wall_seconds = timer.elapsed_seconds();
+    perf->sim_events = service.sim().events_processed();
+    perf->jobs_served =
+        static_cast<std::uint64_t>(service.records().size());
+    perf->peak_queue_size = service.sim().peak_queue_size();
+  }
+  if (tracing && tracer.sampler_active() &&
+      settings.service.telemetry.metrics != nullptr) {
+    // Sampler drops are wall-clock-independent (pure function of seed and
+    // trace ids), so unlike the wall gauge this counter may live in the
+    // deterministic snapshot.
+    settings.service.telemetry.metrics
+        ->counter("ghs_trace_dropped_by_sampler_total", {},
+                  "Span/instant records rejected by the trace head sampler")
+        .inc(tracer.dropped_by_sampler());
   }
   if (tracing) {
     // Last policy run wins the file; with --policy=all that is the
@@ -117,9 +146,16 @@ int main(int argc, char** argv) {
       cli.add_flag("no-cpu", "GPU-only device pool (no Grace CPU)");
   const auto* trace_path =
       cli.add_string("trace", "", "write a Chrome-trace JSON timeline here");
+  const auto* trace_sample = cli.add_double(
+      "trace-sample", 1.0,
+      "fraction of job traces kept by the head sampler (1.0 = all)");
   const auto* um_fraction = cli.add_double(
       "um-fraction", 0.0,
       "fraction of jobs over unified-memory buffers (GPU-only placement)");
+  const auto* queue_kind = cli.add_string(
+      "queue", "heap", "simulator event queue: heap|calendar");
+  const auto* perf = cli.add_flag(
+      "perf", "append wall-clock event-core throughput (machine-dependent)");
   const auto* metrics_out = cli.add_string(
       "metrics-out", "",
       "write Prometheus metrics here (+ JSON snapshot at FILE.json)");
@@ -164,6 +200,14 @@ int main(int argc, char** argv) {
   settings.service.batching.enable = !*no_batch;
   settings.service.use_cpu = !*no_cpu;
   settings.service.telemetry = sink;
+  settings.trace_sample = *trace_sample;
+  const auto parsed_queue = sim::parse_queue_kind(*queue_kind);
+  if (!parsed_queue) {
+    std::cerr << "serve_loadgen: unknown --queue value '" << *queue_kind
+              << "' (expected heap or calendar)\n";
+    return 2;
+  }
+  settings.service.sim.queue = *parsed_queue;
   if (*slo) settings.slo_objectives = default_objectives(*slo_latency_ms);
 
   std::vector<std::string> policies;
@@ -201,9 +245,11 @@ int main(int argc, char** argv) {
   bool have_fifo = false;
   bool have_bandwidth = false;
   std::vector<std::string> slo_reports(policies.size());
+  std::vector<bench::PerfSample> perf_samples(policies.size());
   for (std::size_t i = 0; i < policies.size(); ++i) {
-    const auto report =
-        run_policy(policies[i], model, settings, &slo_reports[i]);
+    const auto report = run_policy(policies[i], model, settings,
+                                   &slo_reports[i],
+                                   *perf ? &perf_samples[i] : nullptr);
     if (i > 0) out << ",";
     report.write_json(out);
     if (policies[i] == "fifo") {
@@ -233,6 +279,13 @@ int main(int argc, char** argv) {
     out << ",\"comparison\":{\"fifo_gbps\":" << fifo_report.throughput_gbps
         << ",\"bandwidth_gbps\":" << bandwidth_report.throughput_gbps
         << ",\"bandwidth_over_fifo\":" << buf << "}";
+  }
+  if (*perf) {
+    // Wall-clock section: machine-dependent by design, so it only exists
+    // behind --perf and never perturbs byte-identity checks on the
+    // default report.
+    out << ",\"perf\":";
+    bench::write_perf_json(out, perf_samples);
   }
   if (metrics) {
     // Wall time is real-world and run-dependent, so the gauge is volatile:

@@ -12,9 +12,15 @@
 #                                 # (breaker/injector/chaos-service tests)
 #   $ scripts/check.sh slo        # tracing + SLO suite under ASan+UBSan
 #                                 # (span trees, exporters, burn-rate math)
+#   $ scripts/check.sh perf       # Release event-core throughput gate only:
+#                                 # a 10^5-job serve_loadgen smoke with
+#                                 # --perf, then the serve_perf wall-clock
+#                                 # lower bounds (docs/PERFORMANCE.md)
 #
 # The release config also runs scripts/perf_gate.py against the checked-in
-# bench baseline after the tests pass.
+# bench baseline after the tests pass. The asan config exercises the same
+# arena-backed event queues (heap and calendar) under ASan+UBSan via the
+# sim and serve suites.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,8 +60,13 @@ for config in "${configs[@]}"; do
       target="trace_tests slo_tests"
       test_regex="trace_tests|slo_tests"
       ;;
+    perf)
+      dir=build
+      flags=(-DCMAKE_BUILD_TYPE=Release -DGHS_SANITIZE=OFF)
+      target=serve_loadgen
+      ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry|chaos|slo)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|perf)" >&2
       exit 2
       ;;
   esac
@@ -67,6 +78,16 @@ for config in "${configs[@]}"; do
     cmake --build "$dir" -j "$jobs" --target $target
   else
     cmake --build "$dir" -j "$jobs"
+  fi
+  if [[ "$config" == perf ]]; then
+    echo "==> perf smoke (10^5 jobs, both queue kinds)"
+    "$dir/bench/serve_loadgen" --jobs=100000 --policy=fifo --perf \
+      --queue=heap >/dev/null
+    "$dir/bench/serve_loadgen" --jobs=100000 --policy=fifo --perf \
+      --queue=calendar >/dev/null
+    echo "==> perf gate (wall-clock lower bounds)"
+    python3 scripts/perf_gate.py --bindir "$dir/bench" --only serve_perf
+    continue
   fi
   echo "==> test $config"
   if [[ -n "$test_regex" ]]; then

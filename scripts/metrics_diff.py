@@ -84,9 +84,13 @@ def main():
     failures = []
     for key in sorted(set(before) | set(after)):
         if key not in before:
-            failures.append(f"NEW       {key} = {after[key]:g}")
+            failures.append(
+                f"NEW       {key} = {after[key]:g} (only in "
+                f"{args.candidate}; missing from {args.baseline})")
         elif key not in after:
-            failures.append(f"REMOVED   {key} (was {before[key]:g})")
+            failures.append(
+                f"REMOVED   {key} (was {before[key]:g} in "
+                f"{args.baseline}; missing from {args.candidate})")
         else:
             delta = relative_delta(before[key], after[key])
             if delta > args.threshold:

@@ -14,11 +14,26 @@ not to matter. Typical uses:
   # sentence in the PR body saying why the numbers moved.
   $ scripts/perf_gate.py --bindir build/bench --update
 
-Baseline format: {"tolerance": T, "benches": [{"name", "args", "format",
-"metrics": [{"path", "value", "higher_is_better"}]}]}. "format" selects the
-stdout parser: "json" walks dotted paths (list indices as integers) through
-the bench's JSON report; "csv" aggregates every numeric cell and offers the
-paths "max" and "mean".
+Baseline format: {"tolerance": T, "benches": [{"name", "id"?, "args",
+"format", "metrics": [...]}]}. "format" selects the stdout parser: "json"
+walks dotted paths (list indices as integers) through the bench's JSON
+report; "csv" aggregates every numeric cell and offers the paths "max" and
+"mean". "id" names the entry for --only when one binary appears under
+several argument sets (defaults to "name").
+
+Two metric kinds:
+
+  {"path", "value", "higher_is_better"}            kind: "regression"
+      Deterministic simulator output; compared exactly against "value"
+      within the relative tolerance. --update rewrites "value".
+
+  {"path", "kind": "lower_bound", "min_value"}     wall-clock floors
+      Machine-dependent throughput (e.g. the serve_loadgen --perf
+      section). Fails only below the absolute floor "min_value", which is
+      set with generous headroom so slow CI machines still pass; the
+      tolerance does not apply. --update refreshes the informational
+      "observed" field but never moves the floor — raise it by hand when
+      the engine genuinely gets faster.
 
 Exit status: 0 when every metric is inside tolerance, 2 when any metric
 regressed (the gate), 1 when a bench is missing, fails to run, or emits
@@ -122,6 +137,9 @@ def main():
     parser.add_argument(
         "--update", action="store_true",
         help="rewrite baseline values from this run instead of gating")
+    parser.add_argument(
+        "--only", default=None, metavar="ID",
+        help="run only the baseline entry whose id (or name) matches")
     args = parser.parse_args()
 
     baseline = load_baseline(args.baseline)
@@ -130,13 +148,42 @@ def main():
     if tolerance < 0:
         fail("--tolerance must be >= 0")
 
+    benches = baseline["benches"]
+    if args.only is not None:
+        benches = [b for b in benches
+                   if b.get("id", b["name"]) == args.only]
+        if not benches:
+            known = ", ".join(b.get("id", b["name"])
+                              for b in baseline["benches"])
+            fail(f"--only '{args.only}' matches no baseline entry "
+                 f"(known: {known})")
+
     regressions = []
     checked = 0
-    for bench in baseline["benches"]:
+    for bench in benches:
+        label = bench.get("id", bench["name"])
         stdout = run_bench(args.bindir, bench)
         for metric in bench["metrics"]:
             current = extract(stdout, bench, metric["path"])
             checked += 1
+            kind = metric.get("kind", "regression")
+            if kind == "lower_bound":
+                if args.update:
+                    metric["observed"] = round(current, 6)
+                    continue
+                floor = float(metric["min_value"])
+                bad = current < floor
+                status = "REGRESSED" if bad else "ok"
+                print(f"{status:9s} {label} {metric['path']}: {current:g} "
+                      f"(floor {floor:g}, wall-clock lower bound)")
+                if bad:
+                    regressions.append(
+                        f"{label} {metric['path']}: {current:g} below "
+                        f"floor {floor:g}")
+                continue
+            if kind != "regression":
+                fail(f"{label} {metric['path']}: unknown metric kind "
+                     f"'{kind}' (regression|lower_bound)")
             if args.update:
                 metric["value"] = round(current, 6)
                 continue
@@ -151,11 +198,11 @@ def main():
                 bad = current > ceiling
                 bound = f"<= {ceiling:g}"
             status = "REGRESSED" if bad else "ok"
-            print(f"{status:9s} {bench['name']} {metric['path']}: "
+            print(f"{status:9s} {label} {metric['path']}: "
                   f"{current:g} (baseline {recorded:g}, need {bound})")
             if bad:
                 regressions.append(
-                    f"{bench['name']} {metric['path']}: {current:g} vs "
+                    f"{label} {metric['path']}: {current:g} vs "
                     f"baseline {recorded:g} (tolerance {tolerance:.1%})")
 
     if args.update:

@@ -134,7 +134,26 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
     }
   }
 
-  if (tracer_ != nullptr) {
+  // Sampling: the whole launch block (including the batch-level kServer
+  // span) is skipped when no job in the batch survives the sampler, so a
+  // heavily sampled million-job run builds span strings for O(sampled)
+  // launches. Launches whose jobs carry no context (tracer attached
+  // outside the serving path) are always traced.
+  bool trace_launch = tracer_ != nullptr;
+  if (trace_launch && tracer_->sampler_active()) {
+    bool any_ctx = false;
+    bool any_kept = false;
+    for (const auto& job : jobs) {
+      if (!job.ctx.valid()) continue;
+      any_ctx = true;
+      if (tracer_->keep(job.ctx)) {
+        any_kept = true;
+        break;
+      }
+    }
+    trace_launch = !any_ctx || any_kept;
+  }
+  if (trace_launch) {
     const auto& spec = workload::case_spec(case_id);
     tracer_->record(trace::Track::kServer,
                     std::string(spec.name) + " x" +
@@ -155,7 +174,7 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
       kernel_begin = begin + share;
     }
     for (const auto& job : jobs) {
-      if (!job.ctx.valid()) continue;
+      if (!job.ctx.valid() || !tracer_->keep(job.ctx)) continue;
       const trace::Context exec_ctx = job.ctx.child(tracer_->new_span_id());
       tracer_->record(trace::Track::kJobs, "serve.execute", begin, end,
                       std::string("device=") + placement_name(device) +

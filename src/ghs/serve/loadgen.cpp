@@ -11,14 +11,28 @@ namespace ghs::serve {
 
 namespace {
 
-workload::CaseId pick_case(const std::vector<MixEntry>& mix, Rng& rng) {
-  GHS_REQUIRE(!mix.empty(), "empty case mix");
+/// One-time validation of a workload shape, hoisted out of the per-job
+/// loop; returns the mix's total weight for pick_case draws.
+double validate_shape(const WorkloadShape& shape) {
+  GHS_REQUIRE(!shape.mix.empty(), "empty case mix");
   double total = 0.0;
-  for (const auto& entry : mix) {
+  for (const auto& entry : shape.mix) {
     GHS_REQUIRE(entry.weight >= 0.0, "weight=" << entry.weight);
     total += entry.weight;
   }
   GHS_REQUIRE(total > 0.0, "case mix has zero total weight");
+  GHS_REQUIRE(shape.min_log2_elements > 0 &&
+                  shape.max_log2_elements >= shape.min_log2_elements &&
+                  shape.max_log2_elements < 40,
+              "element range [2^" << shape.min_log2_elements << ", 2^"
+                                  << shape.max_log2_elements << "]");
+  GHS_REQUIRE(shape.um_fraction <= 1.0,
+              "um_fraction=" << shape.um_fraction);
+  return total;
+}
+
+workload::CaseId pick_case(const std::vector<MixEntry>& mix, double total,
+                           Rng& rng) {
   double draw = rng.next_double() * total;
   for (const auto& entry : mix) {
     draw -= entry.weight;
@@ -28,11 +42,6 @@ workload::CaseId pick_case(const std::vector<MixEntry>& mix, Rng& rng) {
 }
 
 std::int64_t pick_elements(const WorkloadShape& shape, Rng& rng) {
-  GHS_REQUIRE(shape.min_log2_elements > 0 &&
-                  shape.max_log2_elements >= shape.min_log2_elements &&
-                  shape.max_log2_elements < 40,
-              "element range [2^" << shape.min_log2_elements << ", 2^"
-                                  << shape.max_log2_elements << "]");
   const auto span = static_cast<std::uint64_t>(shape.max_log2_elements -
                                                shape.min_log2_elements + 1);
   const auto k = shape.min_log2_elements +
@@ -40,19 +49,17 @@ std::int64_t pick_elements(const WorkloadShape& shape, Rng& rng) {
   return std::int64_t{1} << k;
 }
 
-Job make_job(JobId id, const WorkloadShape& shape, SimTime arrival,
-             Rng& rng) {
+Job make_job(JobId id, const WorkloadShape& shape, double mix_total,
+             SimTime arrival, Rng& rng) {
   Job job;
   job.id = id;
-  job.case_id = pick_case(shape.mix, rng);
+  job.case_id = pick_case(shape.mix, mix_total, rng);
   job.elements = pick_elements(shape, rng);
   job.arrival = arrival;
   if (shape.deadline > 0) job.deadline = arrival + shape.deadline;
   // Drawing only when enabled keeps um_fraction == 0 workloads identical
   // to the pre-unified RNG stream.
   if (shape.um_fraction > 0.0) {
-    GHS_REQUIRE(shape.um_fraction <= 1.0,
-                "um_fraction=" << shape.um_fraction);
     job.unified = rng.next_double() < shape.um_fraction;
   }
   return job;
@@ -71,6 +78,7 @@ std::vector<MixEntry> mixed_cases() {
 std::vector<Job> open_loop_poisson(const OpenLoopOptions& options) {
   GHS_REQUIRE(options.rate_hz > 0.0, "rate_hz=" << options.rate_hz);
   GHS_REQUIRE(options.jobs > 0, "jobs=" << options.jobs);
+  const double mix_total = validate_shape(options.shape);
   Rng rng(options.seed);
   std::vector<Job> jobs;
   jobs.reserve(static_cast<std::size_t>(options.jobs));
@@ -80,7 +88,7 @@ std::vector<Job> open_loop_poisson(const OpenLoopOptions& options) {
     const double u = rng.next_double();
     const double gap_s = -std::log(1.0 - u) / options.rate_hz;
     arrival += from_seconds(gap_s);
-    jobs.push_back(make_job(id, options.shape, arrival, rng));
+    jobs.push_back(make_job(id, options.shape, mix_total, arrival, rng));
   }
   return jobs;
 }
@@ -96,6 +104,7 @@ void run_closed_loop(ReductionService& service,
                   static_cast<std::size_t>(options.tenants),
               "queue depth " << service.queue().max_depth()
                              << " < tenants=" << options.tenants);
+  const double mix_total = validate_shape(options.shape);
   Rng rng(options.seed);
   std::int64_t issued = 0;
   std::unordered_map<JobId, int> tenant_of;
@@ -103,7 +112,7 @@ void run_closed_loop(ReductionService& service,
   const auto submit_next = [&](int tenant, SimTime at) {
     const JobId id = issued++;
     tenant_of[id] = tenant;
-    service.submit(make_job(id, options.shape, at, rng));
+    service.submit(make_job(id, options.shape, mix_total, at, rng));
   };
 
   service.set_on_complete([&](const JobRecord& record) {

@@ -13,6 +13,7 @@ const char* placement_name(Placement placement) {
 AdmissionQueue::AdmissionQueue(std::size_t max_depth)
     : max_depth_(max_depth) {
   GHS_REQUIRE(max_depth > 0, "max_depth=" << max_depth);
+  jobs_.reserve(max_depth_);
 }
 
 bool AdmissionQueue::push(const Job& job) {

@@ -7,7 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "ghs/serve/job.hpp"
 
@@ -36,7 +36,9 @@ class AdmissionQueue {
 
  private:
   std::size_t max_depth_;
-  std::deque<Job> jobs_;
+  /// Bounded by max_depth_, so the vector reserves its whole capacity up
+  /// front and never reallocates while serving.
+  std::vector<Job> jobs_;
   std::int64_t accepted_ = 0;
   std::int64_t rejected_ = 0;
   std::size_t high_watermark_ = 0;

@@ -102,6 +102,7 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
       model_(model),
       options_(options),
       tracer_(tracer),
+      sim_(options.sim),
       queue_(options.queue_depth),
       injector_(effective_injector(options.injector)),
       pool_(sim_, model, options.use_cpu, tracer, options.telemetry,
@@ -180,7 +181,39 @@ void ReductionService::submit(const Job& job) {
 }
 
 void ReductionService::submit_all(const std::vector<Job>& jobs) {
-  for (const auto& job : jobs) submit(job);
+  submit_all(std::vector<Job>(jobs));
+}
+
+void ReductionService::submit_all(std::vector<Job>&& jobs) {
+  if (jobs.empty()) return;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].arrival < jobs[i - 1].arrival) {
+      // Not arrival-sorted: keep the straightforward one-event-per-job
+      // submission rather than re-ordering the caller's batch.
+      for (const auto& job : jobs) submit(job);
+      return;
+    }
+  }
+  GHS_REQUIRE(jobs.front().arrival >= sim_.now(),
+              "job " << jobs.front().id << " arrives in the past");
+  records_.reserve(records_.size() + jobs.size());
+  arrival_chains_.push_back(std::make_unique<ArrivalChain>());
+  ArrivalChain* chain = arrival_chains_.back().get();
+  chain->jobs = std::move(jobs);
+  sim_.schedule_at(chain->jobs.front().arrival,
+                   [this, chain]() { pump_arrivals(chain); });
+}
+
+void ReductionService::pump_arrivals(ArrivalChain* chain) {
+  const Job& job = chain->jobs[chain->next++];
+  // The next link is scheduled before this arrival is admitted, so among
+  // same-timestamp events the chain keeps the low sequence numbers that
+  // up-front submission would have given the arrivals.
+  if (chain->next < chain->jobs.size()) {
+    sim_.schedule_at(chain->jobs[chain->next].arrival,
+                     [this, chain]() { pump_arrivals(chain); });
+  }
+  on_arrival(job);
 }
 
 void ReductionService::set_on_complete(
@@ -190,13 +223,12 @@ void ReductionService::set_on_complete(
 
 void ReductionService::run() { sim_.run(); }
 
-void ReductionService::on_arrival(const Job& arrived) {
+void ReductionService::on_arrival(Job job) {
   ++submitted_;
   if (m_submitted_ != nullptr) m_submitted_->inc();
   // With a tracer attached every job opens a trace at admission: the root
   // context rides the Job through queue, placement, retries, and the device
   // pool, so each child span can name its parent deterministically.
-  Job job = arrived;
   if (tracer_ != nullptr && !job.ctx.valid()) {
     job.ctx = trace::Context{trace::derive_trace_id(job.id),
                              tracer_->new_span_id(), 0};
@@ -211,7 +243,7 @@ void ReductionService::on_arrival(const Job& arrived) {
                       std::string(workload::case_spec(job.case_id).name) +
                           " job " + std::to_string(job.id));
     }
-    if (tracer_ != nullptr) {
+    if (tracer_ != nullptr && tracer_->keep(job.ctx)) {
       tracer_->mark(trace::Track::kServer,
                     std::string("reject ") +
                         workload::case_spec(job.case_id).name,
@@ -227,7 +259,7 @@ void ReductionService::on_arrival(const Job& arrived) {
                         " job " + std::to_string(job.id) +
                         (job.unified ? " unified" : ""));
   }
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr && tracer_->keep(job.ctx)) {
     tracer_->mark(trace::Track::kJobs, "serve.admit", sim_.now(),
                   job.ctx.child(tracer_->new_span_id()));
   }
@@ -312,7 +344,7 @@ void ReductionService::dispatch(Placement device) {
       // One serve.queue child per job in the batch: from its last enqueue
       // (arrival, or the requeue instant of a retry) to this dispatch.
       for (const Job& queued : batch) {
-        if (!queued.ctx.valid()) continue;
+        if (!queued.ctx.valid() || !tracer_->keep(queued.ctx)) continue;
         tracer_->record(
             trace::Track::kJobs, "serve.queue", queued.enqueued, sim_.now(),
             "attempt=" + std::to_string(queued.attempt) +
@@ -371,7 +403,11 @@ void ReductionService::on_launch_complete(const LaunchResult& result) {
 void ReductionService::record_root_span(const Job& job, SimTime end,
                                         const char* outcome,
                                         const char* device) {
-  if (tracer_ == nullptr || !job.ctx.valid()) return;
+  // keep() short-circuits the detail-string build for sampled-out traces;
+  // this is the O(sampled) guarantee on the per-job span path.
+  if (tracer_ == nullptr || !job.ctx.valid() || !tracer_->keep(job.ctx)) {
+    return;
+  }
   std::string detail = std::string("case=") +
                        workload::case_spec(job.case_id).name +
                        " elements=" + std::to_string(job.elements) +
@@ -419,7 +455,7 @@ void ReductionService::handle_failed_job(const Job& job) {
   }
   Job again = job;
   ++again.attempt;
-  if (tracer_ != nullptr && again.ctx.valid()) {
+  if (tracer_ != nullptr && again.ctx.valid() && tracer_->keep(again.ctx)) {
     tracer_->record(trace::Track::kJobs, "serve.retry_backoff", now,
                     retry_at, "retry=" + std::to_string(again.attempt),
                     again.ctx.child(tracer_->new_span_id()));
@@ -443,7 +479,7 @@ void ReductionService::shed_job(const Job& job, const char* reason) {
     flight_->record(sim_.now(), "serve", "shed",
                     "job " + std::to_string(job.id) + ": " + reason);
   }
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr && tracer_->keep(job.ctx)) {
     tracer_->mark(trace::Track::kServer,
                   "shed " + std::to_string(job.id), sim_.now());
     record_root_span(job, sim_.now(), "shed", "");

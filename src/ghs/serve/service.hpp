@@ -71,6 +71,10 @@ struct ServiceOptions {
   RetryOptions retry;
   /// Per-device circuit-breaker thresholds (shared by GPU and CPU).
   fault::BreakerOptions breaker;
+  /// Simulator construction knobs (event-queue implementation). Both
+  /// queue kinds dispatch in identical order, so this is a pure
+  /// performance choice — reports do not change with it.
+  sim::SimConfig sim;
 };
 
 /// Latency-style distribution in milliseconds.
@@ -140,7 +144,15 @@ class ReductionService {
 
   /// Schedules the job's arrival (job.arrival must be >= sim().now()).
   void submit(const Job& job);
+  /// Submits a whole workload. Arrival-sorted batches (every open-loop
+  /// generator emits one) are injected through a chained pump event — one
+  /// arrival in the simulator at a time instead of one event per job — so
+  /// the event queue stays shallow at 10^6-job scale. Dispatch order is
+  /// identical to per-job submit(); unsorted batches fall back to it.
   void submit_all(const std::vector<Job>& jobs);
+  /// Rvalue batches (e.g. a generator's return value) are adopted without
+  /// copying the job vector.
+  void submit_all(std::vector<Job>&& jobs);
 
   /// Fires once per job at its completion (closed-loop generators submit
   /// the tenant's next job from here).
@@ -173,7 +185,16 @@ class ReductionService {
   stats::Series latency_series() const;
 
  private:
-  void on_arrival(const Job& job);
+  /// One arrival-sorted submit_all batch being fed into the simulator by
+  /// pump_arrivals, one event per job but only one event in the queue at a
+  /// time.
+  struct ArrivalChain {
+    std::vector<Job> jobs;
+    std::size_t next = 0;
+  };
+
+  void pump_arrivals(ArrivalChain* chain);
+  void on_arrival(Job job);
   void dispatch_all();
   void dispatch(Placement device);
   void update_queue_gauge();
@@ -204,6 +225,7 @@ class ReductionService {
   fault::CircuitBreaker gpu_breaker_;
   fault::CircuitBreaker cpu_breaker_;
   Rng retry_rng_;
+  std::vector<std::unique_ptr<ArrivalChain>> arrival_chains_;
   std::vector<JobRecord> records_;
   std::vector<Job> rejected_;
   std::vector<Job> shed_;

@@ -11,8 +11,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <tuple>
+#include <unordered_map>
 
 #include "ghs/core/reduce.hpp"
 #include "ghs/core/system_config.hpp"
@@ -72,8 +72,28 @@ class ServiceModel {
   // zero the geometry fields.
   using Key = std::tuple<int, int, std::int64_t, std::int64_t, int, int, int>;
 
+  // Pricing sits on the per-launch hot path (hundreds of thousands of
+  // lookups in a million-job run), so the memo is hashed, not ordered.
+  // Nothing iterates the cache; only hits_/misses_ are observable.
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t h = 0x9e3779b97f4a7c15ull;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      };
+      mix(static_cast<std::uint64_t>(std::get<0>(key)));
+      mix(static_cast<std::uint64_t>(std::get<1>(key)));
+      mix(static_cast<std::uint64_t>(std::get<2>(key)));
+      mix(static_cast<std::uint64_t>(std::get<3>(key)));
+      mix(static_cast<std::uint64_t>(std::get<4>(key)));
+      mix(static_cast<std::uint64_t>(std::get<5>(key)));
+      mix(static_cast<std::uint64_t>(std::get<6>(key)));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   ServiceModelOptions options_;
-  std::map<Key, SimTime> cache_;
+  std::unordered_map<Key, SimTime, KeyHash> cache_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
 };

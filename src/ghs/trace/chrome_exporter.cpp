@@ -196,7 +196,17 @@ void ChromeTraceExporter::write(std::ostream& os) const {
     }
   }
 
-  os << "]}";
+  os << "]";
+  // Sampling metadata appears only when a sampler is active, so rate-1.0
+  // output stays byte-identical to unsampled output.
+  if (tracer_.sampler_active()) {
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.6f", tracer_.sample_rate());
+    os << ",\"sampling\":{\"rate\":" << rate_buf
+       << ",\"seed\":" << tracer_.sampler_seed()
+       << ",\"dropped_by_sampler\":" << tracer_.dropped_by_sampler() << "}";
+  }
+  os << "}";
 }
 
 }  // namespace ghs::trace

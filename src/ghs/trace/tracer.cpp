@@ -44,10 +44,30 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
   GHS_REQUIRE(capacity_ > 0, "tracer capacity must be positive");
 }
 
+void Tracer::set_sampler(SamplerOptions options) {
+  GHS_REQUIRE(options.rate >= 0.0, "sample rate " << options.rate);
+  if (options.rate > 1.0) options.rate = 1.0;
+  sampler_ = options;
+  // Map the rate onto the uint64 range; a trace survives when the hash of
+  // its id lands below the threshold.
+  keep_threshold_ = static_cast<std::uint64_t>(
+      options.rate * 18446744073709551615.0);  // 2^64 - 1
+}
+
+bool Tracer::decide(std::uint64_t trace_id) const {
+  if (sampler_.rate <= 0.0) return false;
+  std::uint64_t state = sampler_.seed ^ trace_id;
+  return splitmix64(state) <= keep_threshold_;
+}
+
 void Tracer::record(Track track, std::string name, SimTime begin, SimTime end,
                     std::string detail, Context ctx) {
   GHS_REQUIRE(begin >= 0 && end >= begin,
               "span '" << name << "' has begin=" << begin << " end=" << end);
+  if (!sampled(ctx.trace_id)) {
+    ++dropped_by_sampler_;
+    return;
+  }
   Span span{track, std::move(name), begin, end, std::move(detail), ctx};
   if (span_ring_.size() < capacity_) {
     span_ring_.push_back(std::move(span));
@@ -60,6 +80,10 @@ void Tracer::record(Track track, std::string name, SimTime begin, SimTime end,
 
 void Tracer::mark(Track track, std::string name, SimTime at, Context ctx) {
   GHS_REQUIRE(at >= 0, "instant '" << name << "' at " << at);
+  if (!sampled(ctx.trace_id)) {
+    ++dropped_by_sampler_;
+    return;
+  }
   Instant instant{track, std::move(name), at, ctx};
   if (instant_ring_.size() < capacity_) {
     instant_ring_.push_back(std::move(instant));
@@ -178,7 +202,17 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     emit_common(instant.track, instant.name, "i", to_trace_us(instant.at));
     os << ",\"s\":\"t\"}";
   }
-  os << "]}";
+  os << "]";
+  // Sampling metadata appears only when a sampler is active, so rate-1.0
+  // output stays byte-identical to unsampled output.
+  if (sampler_active()) {
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.6f", sample_rate());
+    os << ",\"sampling\":{\"rate\":" << rate_buf
+       << ",\"seed\":" << sampler_seed()
+       << ",\"dropped_by_sampler\":" << dropped_by_sampler() << "}";
+  }
+  os << "}";
 }
 
 }  // namespace ghs::trace

@@ -64,6 +64,17 @@ struct Instant {
   Context ctx;
 };
 
+/// Deterministic head sampling: whether a trace is kept is a pure
+/// function of (seed, trace_id), so every span of one request keeps or
+/// drops as a unit, and two same-seed runs sample identically. rate >= 1
+/// disables the sampler entirely — output is then byte-identical to a
+/// tracer that never had one (the byte-identity tests rely on this).
+struct SamplerOptions {
+  /// Fraction of traces kept, in [0, 1]; 1.0 (default) keeps everything.
+  double rate = 1.0;
+  std::uint64_t seed = 0;
+};
+
 class Tracer {
  public:
   /// Spans and instants each keep at most `capacity` entries, oldest
@@ -72,6 +83,29 @@ class Tracer {
   static constexpr std::size_t kDefaultCapacity = 1 << 20;
 
   explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Installs (or, with rate >= 1, removes) the head sampler.
+  void set_sampler(SamplerOptions options);
+
+  bool sampler_active() const { return sampler_.rate < 1.0; }
+  double sample_rate() const { return sampler_.rate; }
+  std::uint64_t sampler_seed() const { return sampler_.seed; }
+
+  /// True when the trace survives sampling. trace_id 0 (context-free
+  /// spans) is always kept: the sampler applies to request trees only.
+  bool sampled(std::uint64_t trace_id) const {
+    if (!sampler_active() || trace_id == 0) return true;
+    return decide(trace_id);
+  }
+
+  /// Pre-check for callers: skip building span names/details entirely for
+  /// traces the sampler will drop — this is what makes tracing at 10^6
+  /// jobs O(sampled) instead of O(jobs).
+  bool keep(const Context& ctx) const { return sampled(ctx.trace_id); }
+
+  /// Ctx-carrying entries rejected by the sampler (record/mark calls made
+  /// without the keep() pre-check still count their drops here).
+  std::int64_t dropped_by_sampler() const { return dropped_by_sampler_; }
 
   /// Records a completed span; begin <= end required.
   void record(Track track, std::string name, SimTime begin, SimTime end,
@@ -102,6 +136,8 @@ class Tracer {
   void write_chrome_json(std::ostream& os) const;
 
  private:
+  bool decide(std::uint64_t trace_id) const;
+
   const std::size_t capacity_;
   std::vector<Span> span_ring_;       // grows to capacity_, then wraps
   std::vector<Instant> instant_ring_;
@@ -110,6 +146,9 @@ class Tracer {
   std::int64_t dropped_spans_ = 0;
   std::int64_t dropped_instants_ = 0;
   std::uint64_t last_span_id_ = 0;
+  SamplerOptions sampler_;
+  std::uint64_t keep_threshold_ = 0;  // derived from sampler_.rate
+  std::int64_t dropped_by_sampler_ = 0;
 };
 
 /// Helper for the devices: records only when the tracer is non-null.

@@ -1,0 +1,120 @@
+// Property test: HeapEventQueue and CalendarEventQueue pop randomized
+// workloads in identical order. The heap is the reference ordering; the
+// calendar queue earns its keep only if it is indistinguishable from it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ghs/sim/event_queue.hpp"
+#include "ghs/util/rng.hpp"
+
+namespace ghs::sim {
+namespace {
+
+struct OpTrace {
+  std::vector<std::uint64_t> popped;  // payload ids in pop order
+  std::vector<SimTime> times;         // pop timestamps
+};
+
+// Runs an identical randomized push/pop schedule against a queue and
+// records what comes out. `tie_bias` pushes many events at few distinct
+// times; `outlier_every` sprinkles far-future events to stress the
+// calendar queue's direct-search fallback.
+OpTrace run_schedule(EventQueue& q, std::uint64_t seed, std::size_t ops,
+                     std::uint64_t tie_bias, std::size_t outlier_every) {
+  Rng rng(seed);
+  OpTrace trace;
+  SimTime floor = 0;  // queues require push times >= last popped time
+  std::uint64_t next_id = 0;
+  std::vector<std::uint64_t>* sink = &trace.popped;
+  for (std::size_t op = 0; op < ops; ++op) {
+    const bool do_push = q.empty() || rng.next_below(100) < 60;
+    if (do_push) {
+      SimTime t;
+      if (outlier_every != 0 && op % outlier_every == outlier_every - 1) {
+        t = floor + static_cast<SimTime>(rng.next_below(1u << 20)) +
+            (SimTime{1} << 44);  // far-future outlier
+      } else if (tie_bias != 0 && rng.next_below(100) < tie_bias) {
+        t = floor;  // heavy same-timestamp ties
+      } else {
+        t = floor + static_cast<SimTime>(rng.next_below(5000));
+      }
+      const std::uint64_t id = next_id++;
+      q.push(t, [id, sink] { sink->push_back(id); });
+    } else {
+      trace.times.push_back(q.next_time());
+      floor = trace.times.back();
+      q.pop()();
+    }
+  }
+  while (!q.empty()) {
+    trace.times.push_back(q.next_time());
+    q.pop()();
+  }
+  return trace;
+}
+
+class QueueEquivalenceProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueEquivalenceProperty, HeapAndCalendarPopIdentically) {
+  const std::uint64_t seed = GetParam();
+  HeapEventQueue heap;
+  CalendarEventQueue calendar;
+  const OpTrace a = run_schedule(heap, seed, 2000, /*tie_bias=*/30,
+                                 /*outlier_every=*/97);
+  const OpTrace b = run_schedule(calendar, seed, 2000, /*tie_bias=*/30,
+                                 /*outlier_every=*/97);
+  EXPECT_EQ(a.popped, b.popped);
+  EXPECT_EQ(a.times, b.times);
+}
+
+TEST_P(QueueEquivalenceProperty, HeavyTiesPopIdentically) {
+  const std::uint64_t seed = GetParam() * 7919 + 13;
+  HeapEventQueue heap;
+  CalendarEventQueue calendar;
+  // 85% of pushes collide on the current floor timestamp: the regime the
+  // serve layer produces when a batch completes and retries fan out.
+  const OpTrace a = run_schedule(heap, seed, 3000, /*tie_bias=*/85,
+                                 /*outlier_every=*/0);
+  const OpTrace b = run_schedule(calendar, seed, 3000, /*tie_bias=*/85,
+                                 /*outlier_every=*/0);
+  EXPECT_EQ(a.popped, b.popped);
+  EXPECT_EQ(a.times, b.times);
+}
+
+TEST_P(QueueEquivalenceProperty, PopReadyBatchesMatchSingleStepPops) {
+  const std::uint64_t seed = GetParam() * 104729 + 7;
+  Rng rng(seed);
+  // One shared workload, consumed via pop() on the heap and via
+  // pop_ready() on the calendar queue.
+  std::vector<SimTime> times;
+  for (int i = 0; i < 1500; ++i) {
+    times.push_back(static_cast<SimTime>(rng.next_below(200)) * 100);
+  }
+  HeapEventQueue heap;
+  CalendarEventQueue calendar;
+  std::vector<std::uint64_t> by_pop;
+  std::vector<std::uint64_t> by_batch;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    heap.push(times[i], [i, &by_pop] { by_pop.push_back(i); });
+    calendar.push(times[i], [i, &by_batch] { by_batch.push_back(i); });
+  }
+  while (!heap.empty()) heap.pop()();
+  std::vector<Event> batch;
+  while (!calendar.empty()) {
+    batch.clear();
+    calendar.pop_ready(batch);
+    for (Event& fn : batch) fn();
+  }
+  EXPECT_EQ(by_pop, by_batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueEquivalenceProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 1234u,
+                                           987654321u));
+
+}  // namespace
+}  // namespace ghs::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "ghs/util/error.hpp"
@@ -83,6 +84,70 @@ TEST(SimulatorTest, EventsCanCascade) {
   sim.run();
   EXPECT_EQ(depth, 10);
   EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(SimulatorTest, DrainBatchDispatchesAllSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.schedule_at(20, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.drain_batch(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(sim.drain_batch(), 1u);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.drain_batch(), 0u);
+}
+
+TEST(SimulatorTest, DrainBatchPicksUpSameTimeEventsScheduledByHandlers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] {
+    order.push_back(1);
+    // Scheduled at the current time from inside the batch: runs in the
+    // same drain, after already-queued time-5 events.
+    sim.schedule_at(5, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.drain_batch(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, PeakQueueSizeTracksHighWaterMark) {
+  Simulator sim;
+  EXPECT_EQ(sim.peak_queue_size(), 0u);
+  sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  sim.schedule_at(3, [] {});
+  EXPECT_EQ(sim.peak_queue_size(), 3u);
+  sim.run();
+  EXPECT_EQ(sim.peak_queue_size(), 3u);
+}
+
+TEST(SimulatorTest, QueueKindFollowsConfig) {
+  Simulator heap_sim;
+  EXPECT_EQ(heap_sim.queue_kind(), QueueKind::kHeap);
+  Simulator cal_sim(SimConfig{QueueKind::kCalendar});
+  EXPECT_EQ(cal_sim.queue_kind(), QueueKind::kCalendar);
+}
+
+TEST(SimulatorTest, CalendarBackedRunMatchesHeapBackedRun) {
+  std::vector<std::vector<SimTime>> seen(2);
+  for (int which = 0; which < 2; ++which) {
+    SimConfig config;
+    config.queue = which == 0 ? QueueKind::kHeap : QueueKind::kCalendar;
+    Simulator sim(config);
+    std::vector<SimTime>& out = seen[static_cast<std::size_t>(which)];
+    for (SimTime t : {30, 10, 10, 50, 20}) {
+      sim.schedule_at(t, [&out, &sim] { out.push_back(sim.now()); });
+    }
+    sim.run();
+    EXPECT_EQ(sim.events_processed(), 5u);
+  }
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[0], (std::vector<SimTime>{10, 10, 20, 30, 50}));
 }
 
 }  // namespace

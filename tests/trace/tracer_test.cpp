@@ -172,5 +172,107 @@ TEST(TracerTest, PlatformIntegrationRecordsCoExecution) {
   EXPECT_TRUE(saw_region);
 }
 
+TEST(TracerSamplerTest, InactiveByDefault) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.sampler_active());
+  EXPECT_EQ(tracer.sample_rate(), 1.0);
+  EXPECT_TRUE(tracer.sampled(12345));
+  EXPECT_EQ(tracer.dropped_by_sampler(), 0);
+}
+
+TEST(TracerSamplerTest, RateOneKeepsEverythingAndStaysInactive) {
+  Tracer tracer;
+  tracer.set_sampler(SamplerOptions{1.0, 7});
+  EXPECT_FALSE(tracer.sampler_active());
+  for (std::uint64_t id = 1; id < 100; ++id) EXPECT_TRUE(tracer.sampled(id));
+}
+
+TEST(TracerSamplerTest, RateZeroDropsEveryTrace) {
+  Tracer tracer;
+  tracer.set_sampler(SamplerOptions{0.0, 7});
+  EXPECT_TRUE(tracer.sampler_active());
+  for (std::uint64_t id = 1; id < 100; ++id) EXPECT_FALSE(tracer.sampled(id));
+  // Context-free entries are never sampled away.
+  EXPECT_TRUE(tracer.sampled(0));
+}
+
+TEST(TracerSamplerTest, DecisionIsPerTraceIdAndDeterministic) {
+  Tracer a;
+  Tracer b;
+  a.set_sampler(SamplerOptions{0.5, 42});
+  b.set_sampler(SamplerOptions{0.5, 42});
+  int kept = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const std::uint64_t id = derive_trace_id(static_cast<std::int64_t>(key));
+    EXPECT_EQ(a.sampled(id), b.sampled(id));
+    if (a.sampled(id)) ++kept;
+  }
+  // Deterministic but unbiased: about half the ids survive at rate 0.5.
+  EXPECT_GT(kept, 400);
+  EXPECT_LT(kept, 600);
+}
+
+TEST(TracerSamplerTest, DifferentSeedsSampleDifferentTraces) {
+  Tracer a;
+  Tracer b;
+  a.set_sampler(SamplerOptions{0.5, 1});
+  b.set_sampler(SamplerOptions{0.5, 2});
+  bool any_difference = false;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const std::uint64_t id = derive_trace_id(static_cast<std::int64_t>(key));
+    any_difference |= a.sampled(id) != b.sampled(id);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TracerSamplerTest, DroppedEntriesAreCountedNotRecorded) {
+  Tracer tracer;
+  tracer.set_sampler(SamplerOptions{0.0, 0});
+  const Context ctx{derive_trace_id(1), 1, 0};
+  tracer.record(Track::kJobs, "dropped", 0, 10, "", ctx);
+  tracer.mark(Track::kJobs, "dropped-mark", 5, ctx);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped_by_sampler(), 2);
+  // Context-free spans still land.
+  tracer.record(Track::kGpu, "kernel", 0, 10);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(TracerSamplerTest, WholeSpanTreeSharesOneDecision) {
+  Tracer tracer;
+  tracer.set_sampler(SamplerOptions{0.5, 9});
+  const std::uint64_t id = derive_trace_id(77);
+  const Context root{id, tracer.new_span_id(), 0};
+  const Context child = root.child(tracer.new_span_id());
+  EXPECT_EQ(tracer.keep(root), tracer.keep(child));
+}
+
+TEST(TracerSamplerTest, RateOneJsonIsByteIdenticalToUnsampled) {
+  const auto render = [](Tracer& tracer) {
+    tracer.record(Track::kJobs, "span", 0, 100, "d",
+                  Context{derive_trace_id(3), 1, 0});
+    tracer.mark(Track::kRuntime, "m", 50);
+    std::ostringstream os;
+    tracer.write_chrome_json(os);
+    return os.str();
+  };
+  Tracer plain;
+  Tracer sampled;
+  sampled.set_sampler(SamplerOptions{1.0, 99});
+  EXPECT_EQ(render(plain), render(sampled));
+}
+
+TEST(TracerSamplerTest, ActiveSamplerIsVisibleInJson) {
+  Tracer tracer;
+  tracer.set_sampler(SamplerOptions{0.25, 5});
+  tracer.record(Track::kGpu, "kernel", 0, 10);
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"sampling\":{\"rate\":0.250000,\"seed\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dropped_by_sampler\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ghs::trace

@@ -1,0 +1,135 @@
+#include "ghs/util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::util {
+namespace {
+
+TEST(ArenaTest, ServesAlignedAllocations) {
+  Arena arena;
+  void* a = arena.allocate(1, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(32, 32);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 32, 0u);
+  EXPECT_EQ(arena.bytes_served(), 1u + 8u + 32u);
+}
+
+TEST(ArenaTest, RejectsNonPowerOfTwoAlignment) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate(8, 3), Error);
+  EXPECT_THROW(arena.allocate(8, 0), Error);
+}
+
+TEST(ArenaTest, GrowsByChunks) {
+  Arena arena(128);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  arena.allocate(64, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  arena.allocate(64, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  arena.allocate(64, 8);  // does not fit the first chunk
+  EXPECT_EQ(arena.chunk_count(), 2u);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena(64);
+  void* big = arena.allocate(1024, 16);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1024u);
+  std::memset(big, 0xAB, 1024);  // the whole block must be writable
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+  Arena arena(256);
+  arena.allocate(200, 8);
+  arena.allocate(200, 8);
+  EXPECT_GT(arena.chunk_count(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  EXPECT_EQ(arena.bytes_served(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(256);
+  std::vector<unsigned char*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    auto* p = static_cast<unsigned char*>(arena.allocate(16, 8));
+    std::memset(p, i, 16);
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      ASSERT_EQ(blocks[static_cast<std::size_t>(i)][j], i);
+    }
+  }
+}
+
+struct Tracked {
+  static int live;
+  int value;
+  explicit Tracked(int v) : value(v) { ++live; }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+
+TEST(PoolTest, MakeAndReleaseRunConstructorsAndDestructors) {
+  Tracked::live = 0;
+  Pool<Tracked> pool(4);
+  Tracked* a = pool.make(7);
+  EXPECT_EQ(a->value, 7);
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(pool.live(), 1u);
+  pool.release(a);
+  EXPECT_EQ(Tracked::live, 0);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PoolTest, RecyclesSlotsWithoutGrowingCapacity) {
+  Pool<std::string> pool(8);
+  std::string* first = pool.make("hello");
+  pool.release(first);
+  std::string* second = pool.make("world");
+  EXPECT_EQ(second, first);  // the freed slot is reused
+  EXPECT_EQ(*second, "world");
+  EXPECT_EQ(pool.capacity(), 1u);
+  pool.release(second);
+}
+
+TEST(PoolTest, SteadyStateChurnDoesNotGrowReservation) {
+  Pool<std::uint64_t> pool(16);
+  std::vector<std::uint64_t*> live;
+  for (std::uint64_t i = 0; i < 64; ++i) live.push_back(pool.make(i));
+  const std::size_t reserved = pool.bytes_reserved();
+  const std::size_t capacity = pool.capacity();
+  for (int round = 0; round < 50; ++round) {
+    for (auto* p : live) pool.release(p);
+    live.clear();
+    for (std::uint64_t i = 0; i < 64; ++i) live.push_back(pool.make(i));
+  }
+  EXPECT_EQ(pool.bytes_reserved(), reserved);
+  EXPECT_EQ(pool.capacity(), capacity);
+  for (auto* p : live) pool.release(p);
+}
+
+TEST(PoolTest, ManyLiveObjectsKeepTheirValues) {
+  Pool<std::uint64_t> pool(32);
+  std::vector<std::uint64_t*> objects;
+  for (std::uint64_t i = 0; i < 1000; ++i) objects.push_back(pool.make(i));
+  EXPECT_EQ(pool.live(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(*objects[i], i);
+  for (auto* p : objects) pool.release(p);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+}  // namespace
+}  // namespace ghs::util
