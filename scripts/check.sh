@@ -12,6 +12,9 @@
 #                                 # (breaker/injector/chaos-service tests)
 #   $ scripts/check.sh slo        # tracing + SLO suite under ASan+UBSan
 #                                 # (span trees, exporters, burn-rate math)
+#   $ scripts/check.sh cluster    # fleet suite under ASan+UBSan (router,
+#                                 # ring, spill/steal, passthrough
+#                                 # equivalence)
 #   $ scripts/check.sh perf       # Release event-core throughput gate only:
 #                                 # a 10^5-job serve_loadgen smoke with
 #                                 # --perf, then the serve_perf wall-clock
@@ -60,13 +63,19 @@ for config in "${configs[@]}"; do
       target="trace_tests slo_tests"
       test_regex="trace_tests|slo_tests"
       ;;
+    cluster)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target=cluster_tests
+      test_regex=cluster_tests
+      ;;
     perf)
       dir=build
       flags=(-DCMAKE_BUILD_TYPE=Release -DGHS_SANITIZE=OFF)
       target=serve_loadgen
       ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|perf)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|perf)" >&2
       exit 2
       ;;
   esac

@@ -12,6 +12,17 @@ Typical uses:
   # baseline snapshot and a candidate one.
   $ scripts/metrics_diff.py --threshold=0.05 baseline.json candidate.json
 
+  # Per-node namespaces: a cluster snapshot labels every node-level
+  # instrument with node="i". Compare one node across two fleet runs:
+  $ scripts/metrics_diff.py --select-label node=3 a.prom.json b.prom.json
+
+  # ... or check a node against a standalone-service snapshot by
+  # selecting its namespace and then stripping the label (instruments
+  # without the label — the standalone ones, and any cluster-level
+  # metrics — pass selection untouched):
+  $ scripts/metrics_diff.py --select-label node=0 --strip-label node \\
+      solo.prom.json fleet.prom.json
+
 Exit status: 0 when the snapshots agree (within the threshold), 1 when any
 instrument regressed/appeared/disappeared, 2 on usage errors — including a
 missing or malformed snapshot file.
@@ -34,6 +45,58 @@ def load(path):
             print(f"error: {path} is not a telemetry snapshot "
                   f"(missing '{section}')", file=sys.stderr)
             sys.exit(2)
+    return snapshot
+
+
+def parse_instrument(name):
+    """Splits 'name{k="v",...}' into (base, [(k, v), ...])."""
+    brace = name.find("{")
+    if brace < 0 or not name.endswith("}"):
+        return name, []
+    labels = []
+    body = name[brace + 1:-1]
+    for part in body.split(","):
+        key, _, value = part.partition("=")
+        labels.append((key, value.strip('"')))
+    return name[:brace], labels
+
+
+def render_instrument(base, labels):
+    if not labels:
+        return base
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return base + "{" + body + "}"
+
+
+def rewrite(snapshot, path, select, strip):
+    """Applies --select-label / --strip-label to every section in place.
+
+    Selection drops instruments that carry a requested key with a DIFFERENT
+    value; instruments without the key pass through, so a standalone
+    snapshot survives `--select-label node=0` intact and cluster-level
+    (node-less) instruments ride along with whichever node is selected.
+    Stripping then removes the key from the rendered name so namespaced
+    instruments line up with unlabelled ones. Two instruments collapsing
+    onto one name after stripping is ambiguous, hence a usage error.
+    """
+    if not select and not strip:
+        return snapshot
+    for section in ("counters", "gauges", "histograms"):
+        rewritten = {}
+        for name, value in snapshot[section].items():
+            base, labels = parse_instrument(name)
+            present = dict(labels)
+            if any(key in present and present[key] != want
+                   for key, want in select):
+                continue
+            kept = [(k, v) for k, v in labels if k not in strip]
+            new_name = render_instrument(base, kept)
+            if new_name in rewritten:
+                print(f"error: --strip-label collapses two instruments in "
+                      f"{path} onto '{new_name}'", file=sys.stderr)
+                sys.exit(2)
+            rewritten[new_name] = value
+        snapshot[section] = rewritten
     return snapshot
 
 
@@ -74,12 +137,29 @@ def main():
     parser.add_argument(
         "--threshold", type=float, default=0.0,
         help="allowed relative change per instrument (default 0 = exact)")
+    parser.add_argument(
+        "--select-label", action="append", default=[], metavar="KEY=VALUE",
+        help="keep only instruments labelled KEY=\"VALUE\" (repeatable; "
+             "e.g. node=3 for one node of a cluster snapshot)")
+    parser.add_argument(
+        "--strip-label", action="append", default=[], metavar="KEY",
+        help="drop label KEY from instrument names after selection "
+             "(repeatable), aligning namespaced and plain snapshots")
     args = parser.parse_args()
     if args.threshold < 0:
         parser.error("--threshold must be >= 0")
+    select = []
+    for spec in args.select_label:
+        key, eq, value = spec.partition("=")
+        if not eq or not key:
+            parser.error(f"--select-label needs KEY=VALUE, got '{spec}'")
+        select.append((key, value))
+    strip = set(args.strip_label)
 
-    before = flatten(load(args.baseline))
-    after = flatten(load(args.candidate))
+    before = flatten(rewrite(load(args.baseline), args.baseline,
+                             select, strip))
+    after = flatten(rewrite(load(args.candidate), args.candidate,
+                            select, strip))
 
     failures = []
     for key in sorted(set(before) | set(after)):

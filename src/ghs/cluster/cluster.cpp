@@ -1,0 +1,488 @@
+#include "ghs/cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "ghs/serve/policy.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::cluster {
+
+namespace {
+
+double to_ms(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+// Same fixed snprintf shape as the serve-layer reports: JSON output must
+// be byte-stable across runs.
+void write_double(std::ostream& os, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  os << buf;
+}
+
+void write_latency(std::ostream& os, const char* key,
+                   const serve::LatencyStats& stats) {
+  os << "\"" << key << "\":{\"count\":" << stats.count << ",\"mean_ms\":";
+  write_double(os, stats.mean_ms);
+  os << ",\"p50_ms\":";
+  write_double(os, stats.pct.p50);
+  os << ",\"p95_ms\":";
+  write_double(os, stats.pct.p95);
+  os << ",\"p99_ms\":";
+  write_double(os, stats.pct.p99);
+  os << ",\"p999_ms\":";
+  write_double(os, stats.pct.p999);
+  os << ",\"max_ms\":";
+  write_double(os, stats.max_ms);
+  os << "}";
+}
+
+bool arrival_sorted(const std::vector<serve::Job>& jobs) {
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].arrival < jobs[i - 1].arrival) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ClusterReport::write_json(std::ostream& os) const {
+  os << "{\"router\":\"" << router << "\",\"policy\":\"" << policy
+     << "\",\"nodes\":" << nodes << ",\"submitted\":" << submitted
+     << ",\"served\":" << served << ",\"rejected\":" << rejected
+     << ",\"shed\":" << shed << ",\"remote_jobs\":" << remote_jobs
+     << ",\"transfers\":" << transfers << ",\"transfer_gb\":";
+  write_double(os, transfer_gb);
+  os << ",\"spills\":" << spills << ",\"spilled_saved\":" << spilled_saved
+     << ",\"steals\":" << steals << ",\"stolen_jobs\":" << stolen_jobs
+     << ",\"makespan_ms\":";
+  write_double(os, to_ms(makespan));
+  os << ",\"bytes_served\":" << bytes_served
+     << ",\"throughput_jobs_per_s\":";
+  write_double(os, throughput_jobs_per_s);
+  os << ",\"throughput_gbps\":";
+  write_double(os, throughput_gbps);
+  os << ",";
+  write_latency(os, "latency", latency);
+  os << ",\"routed\":[";
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    os << (i == 0 ? "" : ",") << routed[i];
+  }
+  os << "],\"imbalance\":";
+  write_double(os, imbalance);
+  os << ",\"node_reports\":[";
+  for (std::size_t i = 0; i < node_reports.size(); ++i) {
+    if (i != 0) os << ",";
+    node_reports[i].write_json(os);
+  }
+  os << "]}";
+}
+
+Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
+                 trace::Tracer* tracer)
+    : model_(model),
+      options_(std::move(options)),
+      tracer_(tracer),
+      sim_(options_.node.sim),
+      router_(options_.router, options_.router_seed, options_.ring_vnodes) {
+  GHS_REQUIRE(options_.nodes > 0, "nodes=" << options_.nodes);
+  GHS_REQUIRE(!passthrough() || options_.nodes == 1,
+              "passthrough routing requires exactly one node, got "
+                  << options_.nodes);
+  GHS_REQUIRE(options_.fault_node >= 0 && options_.fault_node < options_.nodes,
+              "fault_node=" << options_.fault_node);
+
+  if (passthrough()) {
+    // Wire-through: one standalone service, exactly as an un-clustered
+    // caller would build it. No hooks, no cluster instruments, no shared
+    // simulator — byte-identity with serve_loadgen is by construction.
+    nodes_.push_back(std::make_unique<serve::ReductionService>(
+        serve::make_policy(options_.policy, model_), model_, options_.node,
+        tracer_));
+    routed_.assign(1, 0);
+    pending_.assign(1, 0);
+    return;
+  }
+
+  if (options_.nodes > 1) {
+    interconnect_ = std::make_unique<Interconnect>(sim_, options_.nodes,
+                                                   options_.interconnect);
+  }
+  routed_.assign(static_cast<std::size_t>(options_.nodes), 0);
+  pending_.assign(static_cast<std::size_t>(options_.nodes), 0);
+
+  for (int i = 0; i < options_.nodes; ++i) {
+    serve::ServiceOptions node_options = options_.node;
+    node_options.external_sim = &sim_;
+    node_options.instance_labels.push_back({"node", std::to_string(i)});
+    if (i != options_.fault_node) node_options.injector = nullptr;
+    nodes_.push_back(std::make_unique<serve::ReductionService>(
+        serve::make_policy(options_.policy, model_), model_, node_options,
+        tracer_));
+    router_.add_node(i);
+  }
+  for (int i = 0; i < options_.nodes; ++i) {
+    serve::ReductionService& svc = *nodes_[static_cast<std::size_t>(i)];
+    svc.set_on_reject([this, i](const serve::Job& job, SimTime at) {
+      auto it = meta_.find(job.id);
+      GHS_CHECK(it != meta_.end(), "reject for unrouted job " << job.id);
+      if (options_.spill && options_.nodes > 1 &&
+          it->second.spills < options_.nodes - 1) {
+        ++it->second.spills;
+        ++spills_;
+        if (m_spills_ != nullptr) m_spills_->inc();
+        if (flight_ != nullptr) {
+          flight_->record(at, "cluster", "spill",
+                          "job " + std::to_string(job.id) + " off node " +
+                              std::to_string(i));
+        }
+        deliver(job, Router::least_loaded_except(all_loads(), i),
+                job.source_node);
+        return;
+      }
+      finish_reject(job, at);
+    });
+    svc.set_on_shed([this](const serve::Job& job, SimTime at) {
+      auto it = meta_.find(job.id);
+      GHS_CHECK(it != meta_.end(), "shed for unrouted job " << job.id);
+      meta_.erase(it);
+      shed_.push_back(job);
+      shed_at_.push_back(at);
+      if (m_shed_ != nullptr) m_shed_->inc();
+    });
+    svc.set_on_complete([this, i](const serve::JobRecord& record) {
+      auto it = meta_.find(record.job.id);
+      GHS_CHECK(it != meta_.end(),
+                "completion for unrouted job " << record.job.id);
+      const JobMeta& meta = it->second;
+      ClusterRecord cr;
+      cr.record = record;
+      cr.node = i;
+      cr.original_arrival = meta.original_arrival;
+      cr.transfer = meta.transfer;
+      cr.spills = meta.spills;
+      cr.stolen = meta.stolen;
+      last_completion_ = std::max(last_completion_, record.completion);
+      if (meta.spills > 0) ++spilled_saved_;
+      records_.push_back(cr);
+      meta_.erase(it);
+      if (m_served_ != nullptr) m_served_->inc();
+      if (m_latency_ms_ != nullptr) {
+        m_latency_ms_->observe(to_ms(cr.latency()));
+      }
+    });
+    svc.set_on_breaker_transition(
+        [this, i](serve::Placement device, fault::BreakerState,
+                  fault::BreakerState to, SimTime at) {
+          if (!options_.steal || options_.nodes < 2) return;
+          if (device != serve::Placement::kGpu ||
+              to != fault::BreakerState::kOpen) {
+            return;
+          }
+          // Steal as a fresh event so the node's dispatch loop (which may
+          // be mid-iteration over its queue) fully unwinds first.
+          sim_.schedule_after(0, [this, i, at] { steal_from(i, at); });
+        });
+  }
+
+  flight_ = options_.node.telemetry.flight;
+  if (options_.node.telemetry.metrics != nullptr) {
+    telemetry::Registry& r = *options_.node.telemetry.metrics;
+    const telemetry::Labels router_label = {
+        {"router", router_policy_name(options_.router)}};
+    m_submitted_ = &r.counter("ghs_cluster_jobs_submitted_total", router_label,
+                              "Jobs submitted to the cluster front door");
+    m_served_ = &r.counter("ghs_cluster_jobs_served_total", router_label,
+                           "Jobs served by some node of the fleet");
+    m_rejected_ =
+        &r.counter("ghs_cluster_jobs_rejected_total", router_label,
+                   "Jobs refused by every spill attempt (cluster-level)");
+    m_shed_ = &r.counter("ghs_cluster_jobs_shed_total", router_label,
+                         "Jobs shed by a node's retry machinery");
+    m_transfers_ = &r.counter("ghs_cluster_transfers_total", router_label,
+                              "Inter-node transfers started");
+    m_transfer_bytes_ =
+        &r.counter("ghs_cluster_transfer_bytes_total", router_label,
+                   "Bytes moved between nodes");
+    m_spills_ = &r.counter("ghs_cluster_spills_total", router_label,
+                           "Spill re-routes after a node-level rejection");
+    m_steals_ = &r.counter("ghs_cluster_steals_total", router_label,
+                           "Queue-steal events (GPU breaker opened)");
+    m_latency_ms_ = &r.histogram(
+        "ghs_cluster_latency_ms", telemetry::default_latency_buckets_ms(),
+        router_label, "Front-door arrival-to-completion latency");
+  }
+}
+
+serve::ReductionService& Cluster::node(int i) {
+  GHS_REQUIRE(i >= 0 && i < options_.nodes, "node " << i);
+  return *nodes_[static_cast<std::size_t>(i)];
+}
+
+const serve::ReductionService& Cluster::node(int i) const {
+  GHS_REQUIRE(i >= 0 && i < options_.nodes, "node " << i);
+  return *nodes_[static_cast<std::size_t>(i)];
+}
+
+sim::Simulator& Cluster::sim() {
+  return passthrough() ? nodes_[0]->sim() : sim_;
+}
+
+std::size_t Cluster::load(int node) const {
+  const serve::ReductionService& svc = *nodes_[static_cast<std::size_t>(node)];
+  std::size_t load = svc.queue().size() + pending_[static_cast<std::size_t>(node)];
+  if (!svc.pool().idle(serve::Placement::kGpu)) ++load;
+  if (svc.pool().use_cpu() && !svc.pool().idle(serve::Placement::kCpu)) {
+    ++load;
+  }
+  return load;
+}
+
+std::vector<std::size_t> Cluster::all_loads() const {
+  std::vector<std::size_t> loads(static_cast<std::size_t>(options_.nodes));
+  for (int i = 0; i < options_.nodes; ++i) {
+    loads[static_cast<std::size_t>(i)] = load(i);
+  }
+  return loads;
+}
+
+void Cluster::submit_all(std::vector<serve::Job> jobs) {
+  if (jobs.empty()) return;
+  if (passthrough()) {
+    submitted_ += static_cast<std::int64_t>(jobs.size());
+    nodes_[0]->submit_all(std::move(jobs));
+    return;
+  }
+  for (const auto& job : jobs) {
+    GHS_REQUIRE(job.arrival >= sim_.now(),
+                "job " << job.id << " arrives in the past");
+  }
+  submitted_ += static_cast<std::int64_t>(jobs.size());
+  if (m_submitted_ != nullptr) {
+    m_submitted_->inc(static_cast<std::int64_t>(jobs.size()));
+  }
+  if (!arrival_sorted(jobs)) {
+    for (const auto& job : jobs) {
+      sim_.schedule_at(job.arrival, [this, job] { route(job); });
+    }
+    return;
+  }
+  auto chain = std::make_unique<ArrivalChain>();
+  chain->jobs = std::move(jobs);
+  ArrivalChain* raw = chain.get();
+  chains_.push_back(std::move(chain));
+  sim_.schedule_at(raw->jobs.front().arrival, [this, raw] { pump(raw); });
+}
+
+void Cluster::pump(ArrivalChain* chain) {
+  serve::Job job = chain->jobs[chain->next];
+  ++chain->next;
+  if (chain->next < chain->jobs.size()) {
+    sim_.schedule_at(chain->jobs[chain->next].arrival,
+                     [this, chain] { pump(chain); });
+  }
+  route(std::move(job));
+}
+
+void Cluster::route(serve::Job job) {
+  const int target = router_.pick(job, all_loads());
+  ++routed_[static_cast<std::size_t>(target)];
+  if (first_arrival_ < 0 || job.arrival < first_arrival_) {
+    first_arrival_ = job.arrival;
+  }
+  JobMeta meta;
+  meta.original_arrival = job.arrival;
+  meta_.emplace(job.id, meta);
+  const int home = job.source_node;
+  deliver(std::move(job), target, home);
+}
+
+void Cluster::deliver(serve::Job job, int target, int transfer_src) {
+  GHS_REQUIRE(target >= 0 && target < options_.nodes, "deliver to " << target);
+  ++pending_[static_cast<std::size_t>(target)];
+  if (interconnect_ == nullptr || transfer_src < 0 ||
+      transfer_src == target) {
+    submit_to(std::move(job), target);
+    return;
+  }
+  auto it = meta_.find(job.id);
+  GHS_CHECK(it != meta_.end(), "transfer for unrouted job " << job.id);
+  if (it->second.transfer == 0) {
+    ++remote_jobs_;
+  }
+  const Bytes bytes = job.bytes();
+  if (m_transfers_ != nullptr) m_transfers_->inc();
+  if (m_transfer_bytes_ != nullptr) m_transfer_bytes_->inc(bytes);
+  const SimTime begin = sim_.now();
+  const std::string label = "job" + std::to_string(job.id) + " node" +
+                            std::to_string(transfer_src) + "->node" +
+                            std::to_string(target);
+  interconnect_->transfer(
+      transfer_src, target, bytes,
+      [this, job = std::move(job), target, transfer_src, begin]() mutable {
+        const SimTime end = sim_.now();
+        auto meta_it = meta_.find(job.id);
+        GHS_CHECK(meta_it != meta_.end(),
+                  "transfer landed for unrouted job " << job.id);
+        meta_it->second.transfer += end - begin;
+        if (tracer_ != nullptr) {
+          tracer_->record(trace::Track::kServer, "cluster.xfer", begin, end,
+                          "node" + std::to_string(transfer_src) + "->node" +
+                              std::to_string(target) + " job " +
+                              std::to_string(job.id));
+        }
+        submit_to(std::move(job), target);
+      },
+      label);
+}
+
+void Cluster::submit_to(serve::Job job, int target) {
+  --pending_[static_cast<std::size_t>(target)];
+  job.arrival = sim_.now();
+  nodes_[static_cast<std::size_t>(target)]->submit(job);
+}
+
+void Cluster::finish_reject(const serve::Job& job, SimTime at) {
+  meta_.erase(job.id);
+  rejected_.push_back(job);
+  rejected_at_.push_back(at);
+  if (m_rejected_ != nullptr) m_rejected_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(at, "cluster", "reject",
+                    "job " + std::to_string(job.id) + " refused everywhere");
+  }
+}
+
+void Cluster::steal_from(int sick, SimTime at) {
+  serve::ReductionService& svc = *nodes_[static_cast<std::size_t>(sick)];
+  if (svc.breaker(serve::Placement::kGpu).state() !=
+      fault::BreakerState::kOpen) {
+    return;  // recovered before the steal event ran
+  }
+  std::vector<serve::Job> jobs =
+      svc.steal_queued(std::numeric_limits<std::size_t>::max());
+  if (jobs.empty()) return;
+  ++steals_;
+  if (m_steals_ != nullptr) m_steals_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(at, "cluster", "steal",
+                    std::to_string(jobs.size()) + " job(s) off node " +
+                        std::to_string(sick));
+  }
+  for (auto& job : jobs) {
+    auto it = meta_.find(job.id);
+    GHS_CHECK(it != meta_.end(), "stole unrouted job " << job.id);
+    it->second.stolen = true;
+    ++stolen_jobs_;
+    // The queued context lives on the sick node, so the move is priced
+    // from there regardless of where the bytes originally came from.
+    deliver(std::move(job), Router::least_loaded_except(all_loads(), sick),
+            sick);
+  }
+}
+
+void Cluster::run() {
+  if (passthrough()) {
+    nodes_[0]->run();
+    return;
+  }
+  sim_.run();
+  GHS_CHECK(meta_.empty(), meta_.size() << " job(s) without a terminal "
+                                           "outcome after the run drained");
+}
+
+ClusterReport Cluster::report() const {
+  ClusterReport report;
+  report.router = router_policy_name(options_.router);
+  report.policy = options_.policy;
+  report.nodes = options_.nodes;
+  if (passthrough()) {
+    const serve::ServiceReport r0 = nodes_[0]->report();
+    report.submitted = r0.submitted;
+    report.served = r0.served;
+    report.rejected = r0.rejected;
+    report.shed = r0.shed;
+    report.makespan = r0.makespan;
+    report.bytes_served = r0.bytes_served;
+    report.throughput_jobs_per_s = r0.throughput_jobs_per_s;
+    report.throughput_gbps = r0.throughput_gbps;
+    report.latency = r0.latency;
+    report.routed = {r0.submitted};
+    report.imbalance = r0.submitted > 0 ? 1.0 : 0.0;
+    report.node_reports.push_back(r0);
+    return report;
+  }
+  report.submitted = submitted_;
+  report.served = static_cast<std::int64_t>(records_.size());
+  report.rejected = static_cast<std::int64_t>(rejected_.size());
+  report.shed = static_cast<std::int64_t>(shed_.size());
+  report.remote_jobs = remote_jobs_;
+  if (interconnect_ != nullptr) {
+    report.transfers = interconnect_->transfers();
+    report.transfer_gb = interconnect_->bytes_moved() / 1e9;
+  }
+  report.spills = spills_;
+  report.spilled_saved = spilled_saved_;
+  report.steals = steals_;
+  report.stolen_jobs = stolen_jobs_;
+  if (first_arrival_ >= 0 && last_completion_ > first_arrival_) {
+    report.makespan = last_completion_ - first_arrival_;
+  }
+  std::vector<double> latency_ms;
+  latency_ms.reserve(records_.size());
+  for (const auto& record : records_) {
+    latency_ms.push_back(to_ms(record.latency()));
+    report.bytes_served += record.record.job.bytes();
+  }
+  report.latency = serve::make_latency_stats(latency_ms);
+  if (report.makespan > 0) {
+    const double seconds = to_seconds(report.makespan);
+    report.throughput_jobs_per_s =
+        static_cast<double>(report.served) / seconds;
+    report.throughput_gbps =
+        static_cast<double>(report.bytes_served) / seconds / 1e9;
+  }
+  report.routed = routed_;
+  std::int64_t total_routed = 0;
+  std::int64_t max_routed = 0;
+  for (const std::int64_t n : routed_) {
+    total_routed += n;
+    max_routed = std::max(max_routed, n);
+  }
+  if (total_routed > 0) {
+    report.imbalance = static_cast<double>(max_routed) * options_.nodes /
+                       static_cast<double>(total_routed);
+  }
+  for (const auto& node : nodes_) {
+    report.node_reports.push_back(node->report());
+  }
+  return report;
+}
+
+void Cluster::feed_slo(slo::Monitor& monitor) const {
+  if (passthrough()) {
+    monitor.feed(*nodes_[0]);
+    return;
+  }
+  for (std::size_t i = 0; i < monitor.objectives().size(); ++i) {
+    const auto& objective = monitor.objectives()[i];
+    if (objective.kind == slo::ObjectiveKind::kAvailability) {
+      for (const auto& record : records_) {
+        monitor.record(i, record.record.completion, true);
+      }
+      for (const SimTime at : rejected_at_) monitor.record(i, at, false);
+      for (const SimTime at : shed_at_) monitor.record(i, at, false);
+    } else {
+      for (const auto& record : records_) {
+        monitor.record_latency(i, record.record.completion,
+                               to_ms(record.latency()));
+      }
+    }
+  }
+}
+
+}  // namespace ghs::cluster

@@ -1,0 +1,227 @@
+// ghs::cluster — the reduction service sharded across a simulated GH200
+// fleet. N nodes, each a full serve::ReductionService (admission queue,
+// scheduler policy, device pool, retries/breakers when chaos is on), all
+// embedded on ONE shared simulator so the fleet runs as a single
+// deterministic discrete-event simulation. A Router decides each job's
+// node at its arrival instant; an Interconnect prices the bytes a job
+// pays when its data lives on a different node's LPDDR5X.
+//
+// Cluster-level resilience composes with the per-node machinery from the
+// fault PR rather than replacing it:
+//
+//   spill  — a job refused by a node's admission queue is re-routed to the
+//            least-loaded other node (paying the transfer from its data
+//            home) before the cluster gives up: per-node backpressure
+//            propagates up as cluster-level rejection only when every
+//            attempt is refused.
+//   steal  — when a node's GPU circuit breaker opens, the jobs sitting in
+//            its queue are moved to healthy peers (paying the transfer
+//            from the sick node), extending degraded placement across the
+//            fleet: the sick node keeps serving what it must on its CPU
+//            while peers absorb the backlog.
+//
+// Every submitted job ends exactly one of three ways at the cluster level
+// — served, rejected, or shed — the invariant the chaos tests pin. Note
+// that per-node reports still count their local view (a spilled job is a
+// rejection on the refusing node and a serve on the rescuer), so per-node
+// sums can exceed cluster totals by design.
+//
+// Passthrough mode (router=passthrough, nodes=1) constructs exactly one
+// standalone service and delegates wholesale: no shared simulator, no
+// interconnect, no cluster instruments, no hooks — so its reports,
+// telemetry snapshots, and traces are byte-identical to the un-clustered
+// service by construction (pinned by the equivalence test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ghs/cluster/interconnect.hpp"
+#include "ghs/cluster/router.hpp"
+#include "ghs/serve/service.hpp"
+#include "ghs/sim/simulator.hpp"
+#include "ghs/slo/monitor.hpp"
+#include "ghs/trace/tracer.hpp"
+
+namespace ghs::cluster {
+
+struct ClusterOptions {
+  int nodes = 4;
+  RouterPolicy router = RouterPolicy::kLeast;
+  /// Per-node scheduler policy name ("fifo" | "sjf" | "bandwidth").
+  std::string policy = "fifo";
+  /// Template for every node's ServiceOptions. external_sim and
+  /// instance_labels are overwritten per node; the telemetry sink is
+  /// shared (node="i" labels disambiguate); the injector attaches to
+  /// `fault_node` only — chaos strikes one machine, the fleet reacts.
+  serve::ServiceOptions node;
+  int fault_node = 0;
+  InterconnectOptions interconnect;
+  int ring_vnodes = 64;
+  std::uint64_t router_seed = 0xC105CE12ULL;
+  /// Spill-on-reject (see header comment). Off = a node-level rejection
+  /// is immediately a cluster-level rejection.
+  bool spill = true;
+  /// Steal-on-GPU-breaker-open (see header comment).
+  bool steal = true;
+};
+
+/// Cluster-level accounting for one served job, wrapping the serving
+/// node's JobRecord. `record.job.arrival` is the delivery instant at the
+/// node (post transfer); cluster latency is measured from the tenant's
+/// original arrival at the front door.
+struct ClusterRecord {
+  serve::JobRecord record;
+  int node = 0;
+  SimTime original_arrival = 0;
+  /// Total inter-node transfer time the job paid (route + spills + steal).
+  SimTime transfer = 0;
+  int spills = 0;
+  bool stolen = false;
+
+  SimTime latency() const { return record.completion - original_arrival; }
+};
+
+struct ClusterReport {
+  std::string router;
+  std::string policy;
+  int nodes = 1;
+  std::int64_t submitted = 0;
+  std::int64_t served = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  /// Jobs that paid at least one inter-node transfer.
+  std::int64_t remote_jobs = 0;
+  std::int64_t transfers = 0;
+  double transfer_gb = 0.0;
+  /// Spill re-routes attempted / jobs that survived because of one.
+  std::int64_t spills = 0;
+  std::int64_t spilled_saved = 0;
+  /// Steal events / jobs moved by them.
+  std::int64_t steals = 0;
+  std::int64_t stolen_jobs = 0;
+  SimTime makespan = 0;
+  Bytes bytes_served = 0;
+  double throughput_jobs_per_s = 0.0;
+  double throughput_gbps = 0.0;
+  /// Front-door latency: completion minus original arrival.
+  serve::LatencyStats latency;
+  /// Jobs routed to each node (first routing decision only).
+  std::vector<std::int64_t> routed;
+  /// max(routed) / mean(routed); 1 is perfect balance, 0 when idle.
+  double imbalance = 0.0;
+  std::vector<serve::ServiceReport> node_reports;
+
+  /// One JSON object, stable key order, deterministic formatting.
+  void write_json(std::ostream& os) const;
+};
+
+class Cluster {
+ public:
+  Cluster(serve::ServiceModel& model, ClusterOptions options = {},
+          trace::Tracer* tracer = nullptr);
+
+  int nodes() const { return options_.nodes; }
+  bool passthrough() const {
+    return options_.router == RouterPolicy::kPassthrough;
+  }
+  serve::ReductionService& node(int i);
+  const serve::ReductionService& node(int i) const;
+  const Router& router() const { return router_; }
+  /// Null in passthrough mode and on single-node fleets.
+  Interconnect* interconnect() { return interconnect_.get(); }
+  /// The shared fleet clock (the node's own clock in passthrough mode).
+  sim::Simulator& sim();
+
+  /// Schedules a whole workload through the front door. Arrival-sorted
+  /// batches ride a chained pump (one arrival event in flight at a time),
+  /// mirroring the service's own submit_all.
+  void submit_all(std::vector<serve::Job> jobs);
+
+  /// Drains the shared event queue: routing, transfers, service, spills,
+  /// and steals all run to completion.
+  void run();
+
+  const std::vector<ClusterRecord>& records() const { return records_; }
+  /// Cluster-level terminal rejections/sheds and their instants.
+  const std::vector<serve::Job>& rejected_jobs() const { return rejected_; }
+  const std::vector<SimTime>& rejected_times() const { return rejected_at_; }
+  const std::vector<serve::Job>& shed_jobs() const { return shed_; }
+  const std::vector<SimTime>& shed_times() const { return shed_at_; }
+
+  ClusterReport report() const;
+
+  /// Feeds an SLO monitor with cluster-level outcomes: completions judged
+  /// on front-door latency, cluster rejections/sheds as bad availability
+  /// samples. Passthrough mode defers to Monitor::feed semantics.
+  void feed_slo(slo::Monitor& monitor) const;
+
+ private:
+  struct JobMeta {
+    SimTime original_arrival = 0;
+    SimTime transfer = 0;
+    int spills = 0;
+    bool stolen = false;
+  };
+  struct ArrivalChain {
+    std::vector<serve::Job> jobs;
+    std::size_t next = 0;
+  };
+
+  void pump(ArrivalChain* chain);
+  /// Instantaneous load signal: queue depth + busy devices + in-flight
+  /// deliveries (transfers already committed to the node).
+  std::size_t load(int node) const;
+  std::vector<std::size_t> all_loads() const;
+  void route(serve::Job job);
+  /// Hands the job to `target`, paying `transfer_src`->target transfer
+  /// first when transfer_src >= 0 and differs from target.
+  void deliver(serve::Job job, int target, int transfer_src);
+  void submit_to(serve::Job job, int target);
+  void finish_reject(const serve::Job& job, SimTime at);
+  void steal_from(int sick, SimTime at);
+
+  serve::ServiceModel& model_;
+  ClusterOptions options_;
+  trace::Tracer* tracer_;
+  /// Shared fleet clock; unused in passthrough mode (the single node owns
+  /// its simulator, exactly like a standalone service).
+  sim::Simulator sim_;
+  std::unique_ptr<Interconnect> interconnect_;
+  Router router_;
+  std::vector<std::unique_ptr<serve::ReductionService>> nodes_;
+  std::vector<std::unique_ptr<ArrivalChain>> chains_;
+  std::unordered_map<serve::JobId, JobMeta> meta_;
+  std::vector<ClusterRecord> records_;
+  std::vector<serve::Job> rejected_;
+  std::vector<SimTime> rejected_at_;
+  std::vector<serve::Job> shed_;
+  std::vector<SimTime> shed_at_;
+  std::vector<std::int64_t> routed_;
+  std::vector<std::size_t> pending_;
+  std::int64_t submitted_ = 0;
+  /// Front-door makespan bounds: first routed arrival, last completion.
+  SimTime first_arrival_ = -1;
+  SimTime last_completion_ = 0;
+  std::int64_t remote_jobs_ = 0;
+  std::int64_t spills_ = 0;
+  std::int64_t spilled_saved_ = 0;
+  std::int64_t steals_ = 0;
+  std::int64_t stolen_jobs_ = 0;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Counter* m_submitted_ = nullptr;
+  telemetry::Counter* m_served_ = nullptr;
+  telemetry::Counter* m_rejected_ = nullptr;
+  telemetry::Counter* m_shed_ = nullptr;
+  telemetry::Counter* m_transfers_ = nullptr;
+  telemetry::Counter* m_transfer_bytes_ = nullptr;
+  telemetry::Counter* m_spills_ = nullptr;
+  telemetry::Counter* m_steals_ = nullptr;
+  telemetry::Histogram* m_latency_ms_ = nullptr;
+};
+
+}  // namespace ghs::cluster

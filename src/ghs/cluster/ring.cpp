@@ -1,0 +1,49 @@
+#include "ghs/cluster/ring.hpp"
+
+#include <climits>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::cluster {
+
+namespace {
+
+std::uint64_t point(int node, int replica) {
+  // Double-mixed so the point space never coincides with the (singly
+  // mixed) key space: node 0's replicas are the words 0..vnodes-1, which
+  // would otherwise collide exactly with small integer keys and hand node
+  // 0 every small tenant id.
+  return mix64(mix64(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32) |
+      static_cast<std::uint32_t>(replica)));
+}
+
+}  // namespace
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+  GHS_REQUIRE(vnodes > 0, "vnodes=" << vnodes);
+}
+
+void HashRing::add_node(int node) {
+  GHS_REQUIRE(node >= 0, "node=" << node);
+  if (!nodes_.insert(node).second) return;
+  for (int r = 0; r < vnodes_; ++r) {
+    ring_.emplace(std::make_pair(point(node, r), node), node);
+  }
+}
+
+void HashRing::remove_node(int node) {
+  if (nodes_.erase(node) == 0) return;
+  for (int r = 0; r < vnodes_; ++r) {
+    ring_.erase(std::make_pair(point(node, r), node));
+  }
+}
+
+int HashRing::owner(std::uint64_t key) const {
+  GHS_REQUIRE(!ring_.empty(), "owner() on an empty ring");
+  auto it = ring_.lower_bound(std::make_pair(mix64(key), INT_MIN));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace ghs::cluster

@@ -1,0 +1,56 @@
+// Consistent-hash ring over cluster node ids. Each node projects `vnodes`
+// virtual points onto a 64-bit circle; a key's owner is the first point at
+// or clockwise of the key's hash. Adding or removing one node therefore
+// remaps only ~1/N of the key space — the property the router's
+// tenant-affinity policy relies on when the fleet is resized.
+//
+// Everything is a pure function of the node set: points are derived from
+// (node, replica) by a fixed mix, lookups consume no randomness, and the
+// map iterates in sorted order, so placement is byte-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace ghs::cluster {
+
+/// SplitMix64 finaliser: the 64-bit mix used for ring points and key
+/// placement. Shared with tenant assignment so a workload generator and
+/// the ring agree on hashing without a dependency between them.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+class HashRing {
+ public:
+  /// `vnodes` virtual points per node; more points = smoother balance at
+  /// the cost of a larger map.
+  explicit HashRing(int vnodes = 64);
+
+  /// Idempotent; re-adding an existing node is a no-op.
+  void add_node(int node);
+  /// Removing an absent node is a no-op.
+  void remove_node(int node);
+
+  bool contains(int node) const { return nodes_.count(node) != 0; }
+  std::size_t nodes() const { return nodes_.size(); }
+  std::size_t points() const { return ring_.size(); }
+
+  /// Owner of `key` (e.g. a tenant id). Requires a non-empty ring.
+  int owner(std::uint64_t key) const;
+
+ private:
+  int vnodes_;
+  /// Ring points keyed by (hash, node): hash collisions between nodes —
+  /// astronomically unlikely but possible — resolve by node id instead of
+  /// by insertion order, so the ring is a pure function of its node set.
+  std::map<std::pair<std::uint64_t, int>, int> ring_;
+  std::set<int> nodes_;
+};
+
+}  // namespace ghs::cluster

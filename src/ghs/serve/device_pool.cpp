@@ -11,7 +11,8 @@ namespace ghs::serve {
 
 DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
                        trace::Tracer* tracer, telemetry::Sink sink,
-                       fault::Injector* injector)
+                       fault::Injector* injector,
+                       const telemetry::Labels& instance_labels)
     : sim_(sim),
       model_(model),
       use_cpu_(use_cpu),
@@ -19,14 +20,19 @@ DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
       injector_(injector) {
   flight_ = sink.flight;
   if (sink.metrics != nullptr) {
-    m_gpu_launches_ =
-        &sink.metrics->counter("ghs_serve_launches_total", {{"device", "gpu"}},
-                               "Device launches performed by the pool");
-    m_cpu_launches_ =
-        &sink.metrics->counter("ghs_serve_launches_total", {{"device", "cpu"}},
-                               "Device launches performed by the pool");
+    const auto with_inst = [&instance_labels](telemetry::Labels labels) {
+      labels.insert(labels.end(), instance_labels.begin(),
+                    instance_labels.end());
+      return labels;
+    };
+    m_gpu_launches_ = &sink.metrics->counter(
+        "ghs_serve_launches_total", with_inst({{"device", "gpu"}}),
+        "Device launches performed by the pool");
+    m_cpu_launches_ = &sink.metrics->counter(
+        "ghs_serve_launches_total", with_inst({{"device", "cpu"}}),
+        "Device launches performed by the pool");
     m_batched_jobs_ =
-        &sink.metrics->counter("ghs_serve_batched_jobs_total", {},
+        &sink.metrics->counter("ghs_serve_batched_jobs_total", with_inst({}),
                                "Jobs that rode a multi-job launch");
   }
 }

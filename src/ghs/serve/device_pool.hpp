@@ -68,9 +68,12 @@ class DevicePool {
   /// With `use_cpu` false the pool is GPU-only (the CPU never reports
   /// idle), which lets single-device policies run on a matching machine.
   /// `injector` (may be null) degrades launches per its FaultPlan.
+  /// `instance_labels` namespace the pool's instruments per cluster node;
+  /// empty keeps standalone instrument identities unchanged.
   DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
              trace::Tracer* tracer, telemetry::Sink sink = {},
-             fault::Injector* injector = nullptr);
+             fault::Injector* injector = nullptr,
+             const telemetry::Labels& instance_labels = {});
 
   bool idle(Placement device) const;
   bool use_cpu() const { return use_cpu_; }

@@ -32,6 +32,15 @@ struct Job {
   /// explicitly mapped one: service cost then includes the page migration
   /// the first GPU pass triggers. Unified jobs are GPU-only.
   bool unified = false;
+  /// Tenant identity, used by the cluster router's consistent-hash policy
+  /// (and, later, per-tenant caching). The single-node service ignores it,
+  /// so the default keeps every existing workload byte-identical.
+  std::int64_t tenant = 0;
+  /// Cluster node whose LPDDR5X holds the job's source array; -1 means the
+  /// data is local to whichever node serves the job. Only the cluster
+  /// layer reads it — a job served by a standalone service never pays a
+  /// transfer.
+  int source_node = -1;
   /// Failed-launch retries already spent on this job (0 = first attempt).
   /// Maintained by the service's retry machinery; tenants leave it at 0.
   int attempt = 0;

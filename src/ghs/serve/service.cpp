@@ -102,11 +102,15 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
       model_(model),
       options_(options),
       tracer_(tracer),
-      sim_(options.sim),
+      owned_sim_(options.external_sim == nullptr
+                     ? std::make_unique<sim::Simulator>(options.sim)
+                     : nullptr),
+      sim_(options.external_sim != nullptr ? *options.external_sim
+                                           : *owned_sim_),
       queue_(options.queue_depth),
       injector_(effective_injector(options.injector)),
       pool_(sim_, model, options.use_cpu, tracer, options.telemetry,
-            injector_),
+            injector_, options.instance_labels),
       gpu_breaker_(options.breaker),
       cpu_breaker_(options.breaker),
       retry_rng_(options.retry.jitter_seed) {
@@ -117,17 +121,26 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
   if (sink.metrics != nullptr) {
     telemetry::Registry& r = *sink.metrics;
     sim_.set_telemetry(&r);
-    m_submitted_ = &r.counter("ghs_serve_jobs_submitted_total", {},
+    // Per-instance labels (e.g. node="3" in a cluster) namespace every
+    // instrument; a standalone service has none, so its instrument
+    // identities stay exactly as before.
+    const telemetry::Labels& inst = options_.instance_labels;
+    const auto with_inst = [&inst](telemetry::Labels labels) {
+      labels.insert(labels.end(), inst.begin(), inst.end());
+      return labels;
+    };
+    m_submitted_ = &r.counter("ghs_serve_jobs_submitted_total", with_inst({}),
                               "Jobs whose arrival reached the service");
-    m_admitted_ = &r.counter("ghs_serve_jobs_admitted_total", {},
+    m_admitted_ = &r.counter("ghs_serve_jobs_admitted_total", with_inst({}),
                              "Jobs accepted into the admission queue");
-    m_rejected_ = &r.counter("ghs_serve_jobs_rejected_total", {},
+    m_rejected_ = &r.counter("ghs_serve_jobs_rejected_total", with_inst({}),
                              "Jobs shed by admission-queue backpressure");
-    m_completed_ = &r.counter("ghs_serve_jobs_completed_total", {},
+    m_completed_ = &r.counter("ghs_serve_jobs_completed_total", with_inst({}),
                               "Jobs served to completion");
-    m_queue_depth_ = &r.gauge("ghs_serve_queue_depth", {},
+    m_queue_depth_ = &r.gauge("ghs_serve_queue_depth", with_inst({}),
                               "Jobs currently waiting in the admission queue");
-    const telemetry::Labels policy_label = {{"policy", policy_->name()}};
+    const telemetry::Labels policy_label =
+        with_inst({{"policy", policy_->name()}});
     m_latency_ms_ = &r.histogram(
         "ghs_serve_latency_ms", telemetry::default_latency_buckets_ms(),
         policy_label, "Arrival-to-completion latency in milliseconds");
@@ -135,25 +148,25 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
         "ghs_serve_queue_wait_ms", telemetry::default_latency_buckets_ms(),
         policy_label, "Arrival-to-dispatch wait in milliseconds");
     if (injector_ != nullptr) {
-      m_retries_ = &r.counter("ghs_serve_retry_attempts_total", {},
+      m_retries_ = &r.counter("ghs_serve_retry_attempts_total", with_inst({}),
                               "Failed-launch retries scheduled");
       m_shed_ = &r.counter(
-          "ghs_serve_shed_jobs_total", {},
+          "ghs_serve_shed_jobs_total", with_inst({}),
           "Jobs dropped by the retry machinery (budget, deadline, requeue)");
       m_fallback_ = &r.counter(
-          "ghs_serve_fallback_cpu_jobs_total", {},
+          "ghs_serve_fallback_cpu_jobs_total", with_inst({}),
           "Jobs placed on the Grace CPU while the GPU breaker was open");
-      m_breaker_opens_[0] =
-          &r.counter("ghs_serve_breaker_opens_total", {{"device", "gpu"}},
-                     "Circuit-breaker trips to open");
-      m_breaker_opens_[1] =
-          &r.counter("ghs_serve_breaker_opens_total", {{"device", "cpu"}},
-                     "Circuit-breaker trips to open");
+      m_breaker_opens_[0] = &r.counter("ghs_serve_breaker_opens_total",
+                                       with_inst({{"device", "gpu"}}),
+                                       "Circuit-breaker trips to open");
+      m_breaker_opens_[1] = &r.counter("ghs_serve_breaker_opens_total",
+                                       with_inst({{"device", "cpu"}}),
+                                       "Circuit-breaker trips to open");
       m_breaker_state_[0] = &r.gauge(
-          "ghs_serve_breaker_state", {{"device", "gpu"}},
+          "ghs_serve_breaker_state", with_inst({{"device", "gpu"}}),
           "Circuit-breaker state (0 closed, 1 open, 2 half-open)");
       m_breaker_state_[1] = &r.gauge(
-          "ghs_serve_breaker_state", {{"device", "cpu"}},
+          "ghs_serve_breaker_state", with_inst({{"device", "cpu"}}),
           "Circuit-breaker state (0 closed, 1 open, 2 half-open)");
     }
   }
@@ -221,6 +234,41 @@ void ReductionService::set_on_complete(
   on_complete_ = std::move(hook);
 }
 
+void ReductionService::set_on_reject(
+    std::function<void(const Job&, SimTime)> hook) {
+  on_reject_ = std::move(hook);
+}
+
+void ReductionService::set_on_shed(
+    std::function<void(const Job&, SimTime)> hook) {
+  on_shed_ = std::move(hook);
+}
+
+void ReductionService::set_on_breaker_transition(
+    std::function<void(Placement, fault::BreakerState, fault::BreakerState,
+                       SimTime)>
+        hook) {
+  on_breaker_ = std::move(hook);
+}
+
+std::vector<Job> ReductionService::steal_queued(std::size_t max_jobs) {
+  std::vector<Job> stolen;
+  const std::size_t take = std::min(max_jobs, queue_.size());
+  stolen.reserve(take);
+  // Oldest first: position 0 is always the longest-waiting job, and take()
+  // shifts the rest down, so repeatedly draining the front preserves
+  // arrival order among the stolen jobs.
+  for (std::size_t i = 0; i < take; ++i) stolen.push_back(queue_.take(0));
+  if (!stolen.empty()) {
+    update_queue_gauge();
+    if (flight_ != nullptr) {
+      flight_->record(sim_.now(), "serve", "steal",
+                      std::to_string(stolen.size()) + " queued job(s) stolen");
+    }
+  }
+  return stolen;
+}
+
 void ReductionService::run() { sim_.run(); }
 
 void ReductionService::on_arrival(Job job) {
@@ -250,6 +298,7 @@ void ReductionService::on_arrival(Job job) {
                     sim_.now());
       record_root_span(job, sim_.now(), "rejected", "");
     }
+    if (on_reject_) on_reject_(job, sim_.now());
     return;
   }
   if (m_admitted_ != nullptr) m_admitted_->inc();
@@ -484,6 +533,7 @@ void ReductionService::shed_job(const Job& job, const char* reason) {
                   "shed " + std::to_string(job.id), sim_.now());
     record_root_span(job, sim_.now(), "shed", "");
   }
+  if (on_shed_) on_shed_(job, sim_.now());
 }
 
 void ReductionService::schedule_breaker_wake(Placement device, SimTime at) {
@@ -516,6 +566,7 @@ void ReductionService::on_breaker_transition(Placement device,
                       " " + fault::breaker_state_name(to),
                   at);
   }
+  if (on_breaker_) on_breaker_(device, from, to, at);
 }
 
 ServiceReport ReductionService::report() const {

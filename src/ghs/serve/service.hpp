@@ -75,6 +75,18 @@ struct ServiceOptions {
   /// queue kinds dispatch in identical order, so this is a pure
   /// performance choice — reports do not change with it.
   sim::SimConfig sim;
+  /// Embeddability hook: when set, the service schedules onto this
+  /// simulator instead of owning one, so several services (the nodes of a
+  /// ghs::cluster fleet) share a single clock and event queue. The caller
+  /// then drives the run: Service::run() still drains the shared queue,
+  /// which in a cluster means running every node. Null (the default)
+  /// preserves the standalone self-contained service.
+  sim::Simulator* external_sim = nullptr;
+  /// Labels appended to every instrument this service and its device pool
+  /// register (e.g. {{"node","3"}} in a cluster), namespacing per-node
+  /// telemetry. Empty (the default) keeps the standalone instrument names
+  /// byte-identical to pre-cluster builds.
+  telemetry::Labels instance_labels;
 };
 
 /// Latency-style distribution in milliseconds.
@@ -141,6 +153,9 @@ class ReductionService {
                    trace::Tracer* tracer = nullptr);
 
   sim::Simulator& sim() { return sim_; }
+  /// Whether this service schedules onto a caller-owned simulator (cluster
+  /// node) rather than its own.
+  bool embedded() const { return options_.external_sim != nullptr; }
 
   /// Schedules the job's arrival (job.arrival must be >= sim().now()).
   void submit(const Job& job);
@@ -157,6 +172,25 @@ class ReductionService {
   /// Fires once per job at its completion (closed-loop generators submit
   /// the tenant's next job from here).
   void set_on_complete(std::function<void(const JobRecord&)> hook);
+
+  /// Embeddability hooks for a composing layer (ghs::cluster): fire after
+  /// the service has recorded the outcome itself, so node-level accounting
+  /// is unchanged and the composer can add its own (spill the rejected job
+  /// to a peer, count a cluster-level shed, ...).
+  void set_on_reject(std::function<void(const Job&, SimTime)> hook);
+  void set_on_shed(std::function<void(const Job&, SimTime)> hook);
+  /// Fires on every circuit-breaker transition (fault-injected runs only);
+  /// the cluster router uses GPU-open transitions to steal queued work.
+  void set_on_breaker_transition(
+      std::function<void(Placement, fault::BreakerState, fault::BreakerState,
+                         SimTime)>
+          hook);
+
+  /// Work stealing: removes and returns up to `max_jobs` queued jobs
+  /// (oldest first). The jobs stay counted in this node's `submitted`, so
+  /// the stealing layer owns their terminal accounting from here on. The
+  /// queue gauge is updated; nothing is dispatched.
+  std::vector<Job> steal_queued(std::size_t max_jobs);
 
   /// Drains the event queue: runs arrivals, scheduling, and service to
   /// completion.
@@ -216,7 +250,10 @@ class ReductionService {
   ServiceModel& model_;
   ServiceOptions options_;
   trace::Tracer* tracer_;
-  sim::Simulator sim_;
+  /// Owned when options_.external_sim is null; all scheduling goes through
+  /// sim_, which aliases either the owned simulator or the external one.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator& sim_;
   AdmissionQueue queue_;
   /// The effective injector: options.injector with an empty plan is
   /// normalised to null, so "no faults" is one code path.
@@ -232,6 +269,11 @@ class ReductionService {
   std::vector<SimTime> rejected_at_;
   std::vector<SimTime> shed_at_;
   std::function<void(const JobRecord&)> on_complete_;
+  std::function<void(const Job&, SimTime)> on_reject_;
+  std::function<void(const Job&, SimTime)> on_shed_;
+  std::function<void(Placement, fault::BreakerState, fault::BreakerState,
+                     SimTime)>
+      on_breaker_;
   std::int64_t submitted_ = 0;
   std::int64_t retries_ = 0;
   std::int64_t fallback_cpu_jobs_ = 0;

@@ -1,0 +1,127 @@
+// HashRing: determinism, balance, and the consistent-hashing contract —
+// resizing the node set remaps only the keys that must move.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ghs/cluster/ring.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::cluster {
+namespace {
+
+constexpr std::uint64_t kKeys = 10000;
+
+std::vector<int> owners(const HashRing& ring) {
+  std::vector<int> result;
+  result.reserve(kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    result.push_back(ring.owner(key));
+  }
+  return result;
+}
+
+TEST(HashRing, PointsAndMembership) {
+  HashRing ring(32);
+  EXPECT_EQ(ring.nodes(), 0u);
+  ring.add_node(0);
+  ring.add_node(1);
+  EXPECT_TRUE(ring.contains(0));
+  EXPECT_FALSE(ring.contains(7));
+  EXPECT_EQ(ring.nodes(), 2u);
+  EXPECT_EQ(ring.points(), 64u);
+  ring.add_node(0);  // idempotent
+  EXPECT_EQ(ring.points(), 64u);
+  ring.remove_node(5);  // absent: no-op
+  EXPECT_EQ(ring.points(), 64u);
+  ring.remove_node(1);
+  EXPECT_EQ(ring.nodes(), 1u);
+  EXPECT_EQ(ring.points(), 32u);
+}
+
+TEST(HashRing, OwnerIsDeterministicAndCoversAllNodes) {
+  HashRing a(64);
+  HashRing b(64);
+  for (int n = 0; n < 8; ++n) {
+    a.add_node(n);
+    b.add_node(n);
+  }
+  std::map<int, int> per_node;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const int owner = a.owner(key);
+    EXPECT_EQ(owner, b.owner(key));
+    ++per_node[owner];
+  }
+  EXPECT_EQ(per_node.size(), 8u);
+  // Virtual nodes keep the split reasonable: no node owns more than ~3x
+  // its fair share of a uniform key set.
+  for (const auto& [node, count] : per_node) {
+    EXPECT_LT(count, static_cast<int>(kKeys) * 3 / 8) << "node " << node;
+  }
+}
+
+TEST(HashRing, SmallIntegerKeysDoNotCollapseOntoNodeZero) {
+  // Regression: node 0's ring points are derived from the raw words
+  // 0..vnodes-1; with a single mix they coincided exactly with small
+  // integer keys (tenant ids), handing node 0 every tenant < vnodes.
+  HashRing ring(64);
+  for (int n = 0; n < 4; ++n) ring.add_node(n);
+  std::map<int, int> per_node;
+  for (std::uint64_t tenant = 0; tenant < 64; ++tenant) {
+    ++per_node[ring.owner(tenant)];
+  }
+  EXPECT_GT(per_node.size(), 1u);
+  EXPECT_LT(per_node[0], 48);
+}
+
+TEST(HashRing, AddingANodeRemapsOnlyTowardIt) {
+  HashRing ring(64);
+  for (int n = 0; n < 8; ++n) ring.add_node(n);
+  const std::vector<int> before = owners(ring);
+  ring.add_node(8);
+  const std::vector<int> after = owners(ring);
+  std::uint64_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    if (before[key] == after[key]) continue;
+    ++moved;
+    // A key may only move to the new node — never between old nodes.
+    EXPECT_EQ(after[key], 8) << "key " << key;
+  }
+  // ~1/9 of the key space should move; bound it loosely on both sides.
+  EXPECT_GT(moved, kKeys / 50);
+  EXPECT_LT(moved, kKeys / 4);
+}
+
+TEST(HashRing, RemovingANodeRemapsOnlyItsKeys) {
+  HashRing ring(64);
+  for (int n = 0; n < 8; ++n) ring.add_node(n);
+  const std::vector<int> before = owners(ring);
+  ring.remove_node(3);
+  const std::vector<int> after = owners(ring);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    if (before[key] == 3) {
+      EXPECT_NE(after[key], 3) << "key " << key;
+    } else {
+      // Keys that never belonged to the departed node stay put.
+      EXPECT_EQ(before[key], after[key]) << "key " << key;
+    }
+  }
+}
+
+TEST(HashRing, AddRemoveRoundTripRestoresPlacement) {
+  HashRing ring(64);
+  for (int n = 0; n < 6; ++n) ring.add_node(n);
+  const std::vector<int> before = owners(ring);
+  ring.add_node(6);
+  ring.remove_node(6);
+  EXPECT_EQ(before, owners(ring));
+}
+
+TEST(HashRing, EmptyRingThrows) {
+  HashRing ring(8);
+  EXPECT_THROW(ring.owner(1), Error);
+}
+
+}  // namespace
+}  // namespace ghs::cluster
