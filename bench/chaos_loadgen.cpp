@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "ghs/trace/chrome_exporter.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
+#include "scrape.hpp"
 #include "serve_perf.hpp"
 
 namespace {
@@ -65,6 +67,8 @@ struct RunSettings {
   double trace_sample = 1.0;
   /// SLO objectives to evaluate per policy run; empty = no SLO section.
   std::vector<slo::Objective> slo_objectives;
+  /// Sim-time metrics scraping (off unless --scrape-interval was given).
+  bench::ScrapeSettings scrape;
 };
 
 serve::ServiceReport run_policy(const std::string& name,
@@ -73,6 +77,7 @@ serve::ServiceReport run_policy(const std::string& name,
                                 std::uint64_t fault_seed,
                                 const RunSettings& settings,
                                 std::string* slo_json,
+                                std::string* timeline_json,
                                 bench::PerfSample* perf) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
@@ -86,6 +91,16 @@ serve::ServiceReport run_policy(const std::string& name,
   options.injector = &injector;
   serve::ReductionService service(serve::make_policy(name, model), model,
                                   options, tracing ? &tracer : nullptr);
+  const bool scraping = settings.scrape.enabled();
+  timeseries::Tsdb store;
+  std::optional<timeseries::Scraper> scraper;
+  if (scraping) {
+    timeseries::ScraperOptions scraper_options;
+    scraper_options.interval = settings.scrape.interval;
+    scraper.emplace(service.sim(), *settings.service.telemetry.metrics, store,
+                    scraper_options);
+    scraper->start();
+  }
   const bench::WallTimer timer;
   if (settings.closed) {
     serve::run_closed_loop(service, settings.closed_opts);
@@ -93,6 +108,7 @@ serve::ServiceReport run_policy(const std::string& name,
     service.submit_all(serve::open_loop_poisson(settings.open));
     service.run();
   }
+  if (scraping) scraper->finish();
   if (perf != nullptr) {
     perf->policy = name;
     perf->queue = service.sim().queue_kind();
@@ -114,7 +130,28 @@ serve::ServiceReport run_policy(const std::string& name,
   if (tracing) {
     std::ofstream out(settings.trace_path);
     GHS_REQUIRE(out.good(), "cannot write " << settings.trace_path);
-    trace::ChromeTraceExporter(tracer).write(out);
+    trace::ChromeTraceExporter exporter(tracer);
+    if (scraping) {
+      bench::add_counter_tracks(exporter, store, settings.scrape.interval);
+    }
+    exporter.write(out);
+  }
+  if (scraping) {
+    // Like the trace, the last policy run wins the series file.
+    bench::write_series_file("chaos_loadgen", settings.scrape, store,
+                             *scraper);
+    if (timeline_json != nullptr) {
+      timeseries::TimelineOptions timeline_options;
+      timeline_options.interval = settings.scrape.interval;
+      timeline_options.queue_capacity = settings.service.queue_depth;
+      const auto timeline = timeseries::build_timeline(store,
+                                                       timeline_options);
+      std::ostringstream timeline_os;
+      timeline.write_json(timeline_os);
+      *timeline_json = timeline_os.str();
+      std::cerr << "[" << name << "] ";
+      timeline.write_table(std::cerr);
+    }
   }
   if (!settings.slo_objectives.empty() && slo_json != nullptr) {
     slo::Monitor monitor(settings.slo_objectives);
@@ -208,15 +245,29 @@ int main(int argc, char** argv) {
       "slo", "evaluate SLOs per policy and append an slo_report section");
   const auto* slo_latency_ms = cli.add_double(
       "slo-latency-ms", 1.0, "latency_p99 objective threshold, milliseconds");
+  const auto* scrape_interval = cli.add_int(
+      "scrape-interval", 0,
+      "sim-time metrics scrape interval, microseconds (0 = off)");
+  const auto* series_out = cli.add_string(
+      "series-out", "",
+      "write the scraped time-series dump here (.csv for CSV)");
   cli.parse_or_exit(argc, argv);
+
+  const auto scrape = bench::scrape_settings_or_exit(
+      "chaos_loadgen", *scrape_interval, *series_out);
+  bench::require_writable_path("chaos_loadgen", *metrics_out);
+  bench::require_writable_path("chaos_loadgen", *trace_path);
 
   const auto wall_start = std::chrono::steady_clock::now();
 
   telemetry::Registry registry;
   telemetry::FlightRecorder flight;
   const bool metrics = !metrics_out->empty();
-  const telemetry::Sink sink =
-      metrics ? telemetry::Sink{&registry, &flight} : telemetry::Sink{};
+  const bool scraping = scrape.enabled();
+  telemetry::Sink sink = (metrics || scraping)
+                             ? telemetry::Sink{&registry, &flight}
+                             : telemetry::Sink{};
+  sink.timeline = scraping;
 
   const fault::FaultPlan plan = plan_path->empty()
                                     ? fault::parse_plan(kBuiltinPlan)
@@ -225,6 +276,7 @@ int main(int argc, char** argv) {
   RunSettings settings;
   settings.closed = *closed;
   settings.trace_path = *trace_path;
+  settings.scrape = scrape;
 
   serve::WorkloadShape shape;
   shape.min_log2_elements = static_cast<int>(*min_log2);
@@ -291,8 +343,10 @@ int main(int argc, char** argv) {
       << ",\"um_fraction\":" << *um_fraction << ",\"queue_depth\":" << *depth
       << ",\"batching\":" << (settings.service.batching.enable ? "true"
                                                                : "false")
-      << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false")
-      << "},\"fault\":{\"plan\":\""
+      << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false");
+  // Echoed only when scraping, so unscraped reports keep their exact bytes.
+  if (scraping) out << ",\"scrape_interval_us\":" << *scrape_interval;
+  out << "},\"fault\":{\"plan\":\""
       << (plan_path->empty() ? "builtin" : *plan_path)
       << "\",\"seed\":" << *fault_seed << ",\"specs\":" << plan.size()
       << ",\"max_attempts\":" << *max_attempts
@@ -304,12 +358,15 @@ int main(int argc, char** argv) {
   bool have_fifo = false;
   bool have_bandwidth = false;
   std::vector<std::string> slo_reports(policies.size());
+  std::vector<std::string> timeline_reports(policies.size());
   std::vector<bench::PerfSample> perf_samples(policies.size());
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto report =
         run_policy(policies[i], model, plan,
                    static_cast<std::uint64_t>(*fault_seed), settings,
-                   &slo_reports[i], *perf ? &perf_samples[i] : nullptr);
+                   &slo_reports[i],
+                   scraping ? &timeline_reports[i] : nullptr,
+                   *perf ? &perf_samples[i] : nullptr);
     if (i > 0) out << ",";
     report.write_json(out);
     if (policies[i] == "fifo") {
@@ -327,6 +384,15 @@ int main(int argc, char** argv) {
       if (i > 0) out << ",";
       out << "{\"policy\":\"" << policies[i] << "\",\"slo\":"
           << slo_reports[i] << "}";
+    }
+    out << "]";
+  }
+  if (scraping) {
+    out << ",\"timeline_report\":[";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"policy\":\"" << policies[i] << "\",\"timeline\":"
+          << timeline_reports[i] << "}";
     }
     out << "]";
   }
@@ -365,11 +431,11 @@ int main(int argc, char** argv) {
 
   if (metrics) {
     {
-      telemetry::ExportOptions scrape;
-      scrape.include_volatile = true;
+      telemetry::ExportOptions prom_options;
+      prom_options.include_volatile = true;
       std::ofstream prom(*metrics_out);
       GHS_REQUIRE(prom.good(), "cannot write " << *metrics_out);
-      telemetry::write_prometheus(prom, registry, scrape);
+      telemetry::write_prometheus(prom, registry, prom_options);
     }
     const std::string json_path = *metrics_out + ".json";
     std::ofstream snapshot(json_path);

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
 #include "ghs/util/rng.hpp"
+#include "scrape.hpp"
 
 namespace {
 
@@ -53,6 +55,9 @@ struct RunSettings {
   std::string trace_path;
   double trace_sample = 1.0;
   std::vector<slo::Objective> slo_objectives;
+  /// Sim-time metrics scraping (off unless --scrape-interval was given).
+  /// Per-node series fall out of the node="i" instrument labels.
+  bench::ScrapeSettings scrape;
 };
 
 /// Tenant identity and data placement, derived from job ids by the ring's
@@ -78,7 +83,8 @@ void shard_workload(std::vector<serve::Job>& jobs,
 cluster::ClusterReport run_router(cluster::RouterPolicy router,
                                   serve::ServiceModel& model,
                                   const RunSettings& settings,
-                                  std::string* slo_json) {
+                                  std::string* slo_json,
+                                  std::string* timeline_json = nullptr) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
   tracer.set_sampler(
@@ -93,19 +99,51 @@ cluster::ClusterReport run_router(cluster::RouterPolicy router,
   if (!settings.plan.empty()) options.node.injector = &injector;
 
   cluster::Cluster fleet(model, options, tracing ? &tracer : nullptr);
+  const bool scraping = settings.scrape.enabled();
+  timeseries::Tsdb store;
+  std::optional<timeseries::Scraper> scraper;
+  if (scraping) {
+    timeseries::ScraperOptions scraper_options;
+    scraper_options.interval = settings.scrape.interval;
+    scraper.emplace(fleet.sim(), *options.node.telemetry.metrics, store,
+                    scraper_options);
+    scraper->start();
+  }
   std::vector<serve::Job> jobs = serve::open_loop_poisson(settings.open);
   // Placement follows the hash ring of THIS fleet size, so the hash
   // router serves remote-eligible jobs on their data's home node.
   shard_workload(jobs, settings, fleet.router().ring());
   fleet.submit_all(std::move(jobs));
   fleet.run();
+  if (scraping) scraper->finish();
 
   if (tracing) {
     // Last router run wins the file, matching serve_loadgen's policy
     // semantics.
     std::ofstream out(settings.trace_path);
     GHS_REQUIRE(out.good(), "cannot write " << settings.trace_path);
-    trace::ChromeTraceExporter(tracer).write(out);
+    trace::ChromeTraceExporter exporter(tracer);
+    if (scraping) {
+      bench::add_counter_tracks(exporter, store, settings.scrape.interval);
+    }
+    exporter.write(out);
+  }
+  if (scraping) {
+    // Like the trace, the last router run wins the series file.
+    bench::write_series_file("cluster_loadgen", settings.scrape, store,
+                             *scraper);
+    if (timeline_json != nullptr) {
+      timeseries::TimelineOptions timeline_options;
+      timeline_options.interval = settings.scrape.interval;
+      timeline_options.queue_capacity = settings.cluster.node.queue_depth;
+      const auto timeline = timeseries::build_timeline(store,
+                                                       timeline_options);
+      std::ostringstream timeline_os;
+      timeline.write_json(timeline_os);
+      *timeline_json = timeline_os.str();
+      std::cerr << "[" << cluster::router_policy_name(router) << "] ";
+      timeline.write_table(std::cerr);
+    }
   }
   if (!settings.slo_objectives.empty() && slo_json != nullptr) {
     slo::Monitor monitor(settings.slo_objectives);
@@ -190,13 +228,27 @@ int main(int argc, char** argv) {
       "slo", "evaluate SLOs per router and append an slo_report section");
   const auto* slo_latency_ms = cli.add_double(
       "slo-latency-ms", 1.0, "latency_p99 objective threshold, milliseconds");
+  const auto* scrape_interval = cli.add_int(
+      "scrape-interval", 0,
+      "sim-time metrics scrape interval, microseconds (0 = off)");
+  const auto* series_out = cli.add_string(
+      "series-out", "",
+      "write the scraped time-series dump here (.csv for CSV)");
   cli.parse_or_exit(argc, argv);
+
+  const auto scrape = bench::scrape_settings_or_exit(
+      "cluster_loadgen", *scrape_interval, *series_out);
+  bench::require_writable_path("cluster_loadgen", *metrics_out);
+  bench::require_writable_path("cluster_loadgen", *trace_path);
 
   telemetry::Registry registry;
   telemetry::FlightRecorder flight;
   const bool metrics = !metrics_out->empty();
-  const telemetry::Sink sink =
-      metrics ? telemetry::Sink{&registry, &flight} : telemetry::Sink{};
+  const bool scraping = scrape.enabled();
+  telemetry::Sink sink = (metrics || scraping)
+                             ? telemetry::Sink{&registry, &flight}
+                             : telemetry::Sink{};
+  sink.timeline = scraping;
 
   RunSettings settings;
   settings.cluster.nodes = static_cast<int>(*nodes);
@@ -233,6 +285,7 @@ int main(int argc, char** argv) {
   settings.fault_seed = static_cast<std::uint64_t>(*fault_seed);
   settings.trace_path = *trace_path;
   settings.trace_sample = *trace_sample;
+  settings.scrape = scrape;
   if (*slo) settings.slo_objectives = default_objectives(*slo_latency_ms);
 
   std::vector<cluster::RouterPolicy> routers;
@@ -259,12 +312,17 @@ int main(int argc, char** argv) {
       << ",\"queue_depth\":" << *depth << ",\"spill\":"
       << (settings.cluster.spill ? "true" : "false") << ",\"steal\":"
       << (settings.cluster.steal ? "true" : "false") << ",\"fault_plan\":\""
-      << (plan_path->empty() ? "none" : *plan_path) << "\"},\"routers\":[";
+      << (plan_path->empty() ? "none" : *plan_path) << "\"";
+  // Echoed only when scraping, so unscraped reports keep their exact bytes.
+  if (scraping) out << ",\"scrape_interval_us\":" << *scrape_interval;
+  out << "},\"routers\":[";
 
   std::vector<cluster::ClusterReport> reports(routers.size());
   std::vector<std::string> slo_reports(routers.size());
+  std::vector<std::string> timeline_reports(routers.size());
   for (std::size_t i = 0; i < routers.size(); ++i) {
-    reports[i] = run_router(routers[i], model, settings, &slo_reports[i]);
+    reports[i] = run_router(routers[i], model, settings, &slo_reports[i],
+                            scraping ? &timeline_reports[i] : nullptr);
     if (i > 0) out << ",";
     reports[i].write_json(out);
   }
@@ -305,12 +363,14 @@ int main(int argc, char** argv) {
   if (*scaling) {
     // Single node at the same per-node offered load, same seed, a
     // proportional share of the jobs — the denominator of the fleet's
-    // scaling efficiency.
+    // scaling efficiency. Not scraped: the fleet run owns the series file
+    // and the timeline section.
     RunSettings single = settings;
     single.cluster.nodes = 1;
     single.cluster.fault_node = 0;
     single.open.rate_hz = *rate;
     single.open.jobs = std::max<std::int64_t>(*jobs / *nodes, 1);
+    single.scrape = bench::ScrapeSettings{};
     const cluster::ClusterReport single_report = run_router(
         cluster::RouterPolicy::kLeast, model, single, nullptr);
     const cluster::ClusterReport& fleet = reports.front();
@@ -349,6 +409,15 @@ int main(int argc, char** argv) {
     }
     out << "]";
   }
+  if (scraping) {
+    out << ",\"timeline_report\":[";
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"router\":\"" << cluster::router_policy_name(routers[i])
+          << "\",\"timeline\":" << timeline_reports[i] << "}";
+    }
+    out << "]";
+  }
   if (metrics) {
     out << ",\"metrics\":";
     telemetry::write_json_snapshot(out, registry);
@@ -358,11 +427,11 @@ int main(int argc, char** argv) {
 
   if (metrics) {
     {
-      telemetry::ExportOptions scrape;
-      scrape.include_volatile = true;
+      telemetry::ExportOptions prom_options;
+      prom_options.include_volatile = true;
       std::ofstream prom(*metrics_out);
       GHS_REQUIRE(prom.good(), "cannot write " << *metrics_out);
-      telemetry::write_prometheus(prom, registry, scrape);
+      telemetry::write_prometheus(prom, registry, prom_options);
     }
     const std::string json_path = *metrics_out + ".json";
     std::ofstream snapshot(json_path);

@@ -1,0 +1,48 @@
+// Output-path validation shared by the bench binaries (header-only: the
+// loadgens do not link ghsum_bench_common).
+//
+// A typo'd --metrics-out/--series-out/--trace directory used to surface as
+// a GHS_REQUIRE abort midway through (or after) the run; these helpers turn
+// it into the same early "program: message" + exit(2) shape Cli uses for
+// bad flags, before any simulation time is spent.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <system_error>
+
+namespace ghs::bench {
+
+/// Exits 2 with a Cli-style stderr message when `path` names a file in a
+/// directory that does not exist. "" (feature off) and bare filenames
+/// (current directory) pass. Call right after parse_or_exit, before the
+/// run starts.
+inline void require_writable_path(const std::string& program,
+                                  const std::string& path) {
+  if (path.empty()) return;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(parent, ec)) {
+    std::cerr << program << ": cannot write " << path << ": directory '"
+              << parent.string() << "' does not exist\n";
+    std::exit(2);
+  }
+}
+
+/// Opens `path` for writing, exiting 2 Cli-style on failure.
+inline std::ofstream open_output_or_exit(const std::string& program,
+                                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << program << ": cannot write " << path << "\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace ghs::bench

@@ -1,0 +1,87 @@
+// Shared --scrape-interval / --series-out wiring for the loadgen benches
+// (header-only: the loadgens do not link ghsum_bench_common).
+//
+// Each loadgen parses the two flags, validates them through
+// scrape_settings_or_exit, hands a Tsdb + Scraper to its run, and then
+// funnels the store through the three consumers: the series dump, the
+// Perfetto counter tracks, and the timeline report section.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "ghs/timeseries/export.hpp"
+#include "ghs/timeseries/report.hpp"
+#include "ghs/timeseries/scraper.hpp"
+#include "ghs/timeseries/tsdb.hpp"
+#include "ghs/trace/chrome_exporter.hpp"
+#include "output_path.hpp"
+
+namespace ghs::bench {
+
+struct ScrapeSettings {
+  /// Simulated time between scrapes; 0 = scraping off.
+  SimTime interval = 0;
+  /// --series-out destination ("" = no dump). A ".csv" suffix selects the
+  /// CSV flattening; anything else gets the ghs-series-v1 JSON.
+  std::string series_path;
+
+  bool enabled() const { return interval > 0; }
+};
+
+/// Validates the scrape flags Cli-style (stderr + exit 2): --series-out
+/// needs --scrape-interval, the interval must be non-negative, and the
+/// series path's directory must exist.
+inline ScrapeSettings scrape_settings_or_exit(const std::string& program,
+                                              long long scrape_interval_us,
+                                              const std::string& series_out) {
+  if (scrape_interval_us < 0) {
+    std::cerr << program << ": --scrape-interval must be >= 0\n";
+    std::exit(2);
+  }
+  if (!series_out.empty() && scrape_interval_us == 0) {
+    std::cerr << program
+              << ": --series-out requires --scrape-interval > 0\n";
+    std::exit(2);
+  }
+  require_writable_path(program, series_out);
+  ScrapeSettings settings;
+  settings.interval = scrape_interval_us * kMicrosecond;
+  settings.series_path = series_out;
+  return settings;
+}
+
+/// Writes the series dump for one completed scraped run. No-op without a
+/// --series-out path.
+inline void write_series_file(const std::string& program,
+                              const ScrapeSettings& settings,
+                              const timeseries::Tsdb& store,
+                              const timeseries::Scraper& scraper) {
+  if (settings.series_path.empty()) return;
+  auto out = open_output_or_exit(program, settings.series_path);
+  const timeseries::SeriesMeta meta{scraper.interval(), scraper.scrapes()};
+  const std::string& path = settings.series_path;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    timeseries::write_series_csv(out, store, meta);
+  } else {
+    timeseries::write_series_json(out, store, meta);
+    out << "\n";
+  }
+}
+
+/// Merges the standard counter tracks into a trace export (no-op when the
+/// store holds none of the tracked series, keeping the file byte-identical
+/// to an unscraped run's).
+inline void add_counter_tracks(trace::ChromeTraceExporter& exporter,
+                               const timeseries::Tsdb& store,
+                               SimTime interval) {
+  for (auto& track : timeseries::counter_tracks(store, interval)) {
+    exporter.add_counter_track(std::move(track));
+  }
+}
+
+}  // namespace ghs::bench

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "ghs/trace/chrome_exporter.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
+#include "scrape.hpp"
 #include "serve_perf.hpp"
 
 namespace {
@@ -49,12 +51,15 @@ struct RunSettings {
   double trace_sample = 1.0;
   /// SLO objectives to evaluate per policy run; empty = no SLO section.
   std::vector<slo::Objective> slo_objectives;
+  /// Sim-time metrics scraping (off unless --scrape-interval was given).
+  bench::ScrapeSettings scrape;
 };
 
 serve::ServiceReport run_policy(const std::string& name,
                                 serve::ServiceModel& model,
                                 const RunSettings& settings,
                                 std::string* slo_json,
+                                std::string* timeline_json,
                                 bench::PerfSample* perf) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
@@ -63,6 +68,16 @@ serve::ServiceReport run_policy(const std::string& name,
   serve::ReductionService service(serve::make_policy(name, model), model,
                                   settings.service,
                                   tracing ? &tracer : nullptr);
+  const bool scraping = settings.scrape.enabled();
+  timeseries::Tsdb store;
+  std::optional<timeseries::Scraper> scraper;
+  if (scraping) {
+    timeseries::ScraperOptions scraper_options;
+    scraper_options.interval = settings.scrape.interval;
+    scraper.emplace(service.sim(), *settings.service.telemetry.metrics, store,
+                    scraper_options);
+    scraper->start();
+  }
   const bench::WallTimer timer;
   if (settings.closed) {
     serve::run_closed_loop(service, settings.closed_opts);
@@ -70,6 +85,7 @@ serve::ServiceReport run_policy(const std::string& name,
     service.submit_all(serve::open_loop_poisson(settings.open));
     service.run();
   }
+  if (scraping) scraper->finish();
   if (perf != nullptr) {
     perf->policy = name;
     perf->queue = service.sim().queue_kind();
@@ -94,7 +110,28 @@ serve::ServiceReport run_policy(const std::string& name,
     // bandwidth-aware timeline.
     std::ofstream out(settings.trace_path);
     GHS_REQUIRE(out.good(), "cannot write " << settings.trace_path);
-    trace::ChromeTraceExporter(tracer).write(out);
+    trace::ChromeTraceExporter exporter(tracer);
+    if (scraping) {
+      bench::add_counter_tracks(exporter, store, settings.scrape.interval);
+    }
+    exporter.write(out);
+  }
+  if (scraping) {
+    // Like the trace, the last policy run wins the series file.
+    bench::write_series_file("serve_loadgen", settings.scrape, store,
+                             *scraper);
+    if (timeline_json != nullptr) {
+      timeseries::TimelineOptions timeline_options;
+      timeline_options.interval = settings.scrape.interval;
+      timeline_options.queue_capacity = settings.service.queue_depth;
+      const auto timeline = timeseries::build_timeline(store,
+                                                       timeline_options);
+      std::ostringstream timeline_os;
+      timeline.write_json(timeline_os);
+      *timeline_json = timeline_os.str();
+      std::cerr << "[" << name << "] ";
+      timeline.write_table(std::cerr);
+    }
   }
   if (!settings.slo_objectives.empty() && slo_json != nullptr) {
     slo::Monitor monitor(settings.slo_objectives);
@@ -163,21 +200,37 @@ int main(int argc, char** argv) {
       "slo", "evaluate SLOs per policy and append an slo_report section");
   const auto* slo_latency_ms = cli.add_double(
       "slo-latency-ms", 1.0, "latency_p99 objective threshold, milliseconds");
+  const auto* scrape_interval = cli.add_int(
+      "scrape-interval", 0,
+      "sim-time metrics scrape interval, microseconds (0 = off)");
+  const auto* series_out = cli.add_string(
+      "series-out", "",
+      "write the scraped time-series dump here (.csv for CSV)");
   cli.parse_or_exit(argc, argv);
+
+  const auto scrape = bench::scrape_settings_or_exit(
+      "serve_loadgen", *scrape_interval, *series_out);
+  bench::require_writable_path("serve_loadgen", *metrics_out);
+  bench::require_writable_path("serve_loadgen", *trace_path);
 
   const auto wall_start = std::chrono::steady_clock::now();
 
   // One registry accumulates across every policy run; null pointers keep
-  // telemetry free when --metrics-out was not given.
+  // telemetry free when neither --metrics-out nor --scrape-interval was
+  // given.
   telemetry::Registry registry;
   telemetry::FlightRecorder flight;
   const bool metrics = !metrics_out->empty();
-  const telemetry::Sink sink =
-      metrics ? telemetry::Sink{&registry, &flight} : telemetry::Sink{};
+  const bool scraping = scrape.enabled();
+  telemetry::Sink sink = (metrics || scraping)
+                             ? telemetry::Sink{&registry, &flight}
+                             : telemetry::Sink{};
+  sink.timeline = scraping;
 
   RunSettings settings;
   settings.closed = *closed;
   settings.trace_path = *trace_path;
+  settings.scrape = scrape;
 
   serve::WorkloadShape shape;
   shape.min_log2_elements = static_cast<int>(*min_log2);
@@ -237,18 +290,22 @@ int main(int argc, char** argv) {
       << ",\"um_fraction\":" << *um_fraction << ",\"queue_depth\":" << *depth
       << ",\"batching\":" << (settings.service.batching.enable ? "true"
                                                                : "false")
-      << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false")
-      << "},\"policies\":[";
+      << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false");
+  // Echoed only when scraping, so unscraped reports keep their exact bytes.
+  if (scraping) out << ",\"scrape_interval_us\":" << *scrape_interval;
+  out << "},\"policies\":[";
 
   serve::ServiceReport fifo_report;
   serve::ServiceReport bandwidth_report;
   bool have_fifo = false;
   bool have_bandwidth = false;
   std::vector<std::string> slo_reports(policies.size());
+  std::vector<std::string> timeline_reports(policies.size());
   std::vector<bench::PerfSample> perf_samples(policies.size());
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto report = run_policy(policies[i], model, settings,
                                    &slo_reports[i],
+                                   scraping ? &timeline_reports[i] : nullptr,
                                    *perf ? &perf_samples[i] : nullptr);
     if (i > 0) out << ",";
     report.write_json(out);
@@ -267,6 +324,15 @@ int main(int argc, char** argv) {
       if (i > 0) out << ",";
       out << "{\"policy\":\"" << policies[i] << "\",\"slo\":"
           << slo_reports[i] << "}";
+    }
+    out << "]";
+  }
+  if (scraping) {
+    out << ",\"timeline_report\":[";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"policy\":\"" << policies[i] << "\",\"timeline\":"
+          << timeline_reports[i] << "}";
     }
     out << "]";
   }
@@ -308,11 +374,11 @@ int main(int argc, char** argv) {
     {
       // The exposition is a scrape, not a diff artefact, so it may carry
       // the volatile wall-clock gauge; the snapshot stays deterministic.
-      telemetry::ExportOptions scrape;
-      scrape.include_volatile = true;
+      telemetry::ExportOptions prom_options;
+      prom_options.include_volatile = true;
       std::ofstream prom(*metrics_out);
       GHS_REQUIRE(prom.good(), "cannot write " << *metrics_out);
-      telemetry::write_prometheus(prom, registry, scrape);
+      telemetry::write_prometheus(prom, registry, prom_options);
     }
     const std::string json_path = *metrics_out + ".json";
     std::ofstream snapshot(json_path);

@@ -15,6 +15,10 @@
 #   $ scripts/check.sh cluster    # fleet suite under ASan+UBSan (router,
 #                                 # ring, spill/steal, passthrough
 #                                 # equivalence)
+#   $ scripts/check.sh tsdb       # time-series suite under ASan+UBSan, then
+#                                 # a same-seed cluster_loadgen --series-out
+#                                 # byte-identity smoke checked with
+#                                 # metrics_diff.py --series
 #   $ scripts/check.sh perf       # Release event-core throughput gate only:
 #                                 # a 10^5-job serve_loadgen smoke with
 #                                 # --perf, then the serve_perf wall-clock
@@ -69,13 +73,19 @@ for config in "${configs[@]}"; do
       target=cluster_tests
       test_regex=cluster_tests
       ;;
+    tsdb)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target="timeseries_tests cluster_loadgen"
+      test_regex=timeseries_tests
+      ;;
     perf)
       dir=build
       flags=(-DCMAKE_BUILD_TYPE=Release -DGHS_SANITIZE=OFF)
       target=serve_loadgen
       ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|perf)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|tsdb|perf)" >&2
       exit 2
       ;;
   esac
@@ -103,6 +113,18 @@ for config in "${configs[@]}"; do
     ctest --test-dir "$dir" --output-on-failure -j "$jobs" -R "$test_regex"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
+  if [[ "$config" == tsdb ]]; then
+    echo "==> series determinism smoke (same-seed byte identity under ASan)"
+    tmp=$(mktemp -d)
+    "$dir/bench/cluster_loadgen" --nodes=4 --jobs=2000 --scrape-interval=50 \
+      --series-out="$tmp/a.series.json" >/dev/null 2>&1
+    "$dir/bench/cluster_loadgen" --nodes=4 --jobs=2000 --scrape-interval=50 \
+      --series-out="$tmp/b.series.json" >/dev/null 2>&1
+    cmp "$tmp/a.series.json" "$tmp/b.series.json"
+    python3 scripts/metrics_diff.py --series \
+      "$tmp/a.series.json" "$tmp/b.series.json"
+    rm -rf "$tmp"
   fi
   if [[ "$config" == release ]]; then
     echo "==> perf gate ($config)"

@@ -23,6 +23,12 @@ Typical uses:
   $ scripts/metrics_diff.py --select-label node=0 --strip-label node \\
       solo.prom.json fleet.prom.json
 
+  # Time-series dumps (--series-out, format ghs-series-v1) use --series.
+  # Each series contributes its point/drop counters, value sums, and
+  # per-tier rollup shape, so same-seed runs must match exactly and a
+  # thresholded compare flags series whose totals drifted:
+  $ scripts/metrics_diff.py --series a.series.json b.series.json
+
 Exit status: 0 when the snapshots agree (within the threshold), 1 when any
 instrument regressed/appeared/disappeared, 2 on usage errors — including a
 missing or malformed snapshot file.
@@ -46,6 +52,19 @@ def load(path):
                   f"(missing '{section}')", file=sys.stderr)
             sys.exit(2)
     return snapshot
+
+
+def load_series(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read series dump {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("format") != "ghs-series-v1" or "series" not in doc:
+        print(f"error: {path} is not a ghs-series-v1 dump", file=sys.stderr)
+        sys.exit(2)
+    return doc
 
 
 def parse_instrument(name):
@@ -100,6 +119,85 @@ def rewrite(snapshot, path, select, strip):
     return snapshot
 
 
+def split_series_key(key):
+    """Splits a series key into (instrument, derived suffix).
+
+    The scraper keys histogram-derived series as 'name{labels}:count',
+    ':sum', or ':p95'; the suffix follows the closing brace (or, for an
+    unlabelled instrument, the bare name — metric names themselves never
+    contain ':').
+    """
+    brace = key.rfind("}")
+    if brace >= 0:
+        rest = key[brace + 1:]
+        if rest.startswith(":"):
+            return key[:brace + 1], rest
+        return key, ""
+    colon = key.find(":")
+    if colon >= 0:
+        return key[:colon], key[colon:]
+    return key, ""
+
+
+def rewrite_series(doc, path, select, strip):
+    """--select-label / --strip-label over a series dump.
+
+    Same pass-through semantics as rewrite(): selection keeps series whose
+    instrument lacks the key entirely, and stripping re-renders the key
+    with the label removed, derived suffix preserved.
+    """
+    if not select and not strip:
+        return doc
+    rewritten = {}
+    for key, body in doc["series"].items():
+        instrument, suffix = split_series_key(key)
+        base, labels = parse_instrument(instrument)
+        present = dict(labels)
+        if any(k in present and present[k] != want for k, want in select):
+            continue
+        kept = [(k, v) for k, v in labels if k not in strip]
+        new_key = render_instrument(base, kept) + suffix
+        if new_key in rewritten:
+            print(f"error: --strip-label collapses two series in "
+                  f"{path} onto '{new_key}'", file=sys.stderr)
+            sys.exit(2)
+        rewritten[new_key] = body
+    doc["series"] = rewritten
+    return doc
+
+
+def flatten_series(doc):
+    """One {key: numeric value} map per series dump.
+
+    Per series: lifetime point/drop counters, value sums, the retained raw
+    sample count and its value sum, and each rollup tier's row and folded
+    sample counts. Timestamps are left out so a thresholded compare between
+    runs of slightly different length reports value drift, not clock skew;
+    the exact (threshold 0) gate still catches any behavioural divergence
+    because every scraped value lands in a sum.
+    """
+    values = {
+        "meta interval_ps": float(doc["interval_ps"]),
+        "meta scrapes": float(doc["scrapes"]),
+    }
+    for key, body in doc["series"].items():
+        prefix = f"series {key}"
+        values[f"{prefix} points"] = float(body["points"])
+        values[f"{prefix} dropped"] = float(body["dropped"])
+        values[f"{prefix} sum"] = float(body["sum"])
+        values[f"{prefix} dropped_sum"] = float(body["dropped_sum"])
+        samples = body.get("samples", [])
+        values[f"{prefix} raw points"] = float(len(samples))
+        values[f"{prefix} raw sum"] = float(sum(v for _, v in samples))
+        for tier in body.get("rollups", []):
+            rows = tier.get("rows", [])
+            t = tier.get("tier", 0)
+            values[f"{prefix} tier{t} rows"] = float(len(rows))
+            values[f"{prefix} tier{t} folded"] = float(
+                sum(row[2] for row in rows))
+    return values
+
+
 def flatten(snapshot):
     """One {instrument: numeric value} map per snapshot.
 
@@ -145,6 +243,10 @@ def main():
         "--strip-label", action="append", default=[], metavar="KEY",
         help="drop label KEY from instrument names after selection "
              "(repeatable), aligning namespaced and plain snapshots")
+    parser.add_argument(
+        "--series", action="store_true",
+        help="compare ghs-series-v1 time-series dumps (--series-out files) "
+             "instead of telemetry snapshots")
     args = parser.parse_args()
     if args.threshold < 0:
         parser.error("--threshold must be >= 0")
@@ -156,10 +258,16 @@ def main():
         select.append((key, value))
     strip = set(args.strip_label)
 
-    before = flatten(rewrite(load(args.baseline), args.baseline,
-                             select, strip))
-    after = flatten(rewrite(load(args.candidate), args.candidate,
-                            select, strip))
+    if args.series:
+        before = flatten_series(rewrite_series(
+            load_series(args.baseline), args.baseline, select, strip))
+        after = flatten_series(rewrite_series(
+            load_series(args.candidate), args.candidate, select, strip))
+    else:
+        before = flatten(rewrite(load(args.baseline), args.baseline,
+                                 select, strip))
+        after = flatten(rewrite(load(args.candidate), args.candidate,
+                                select, strip))
 
     failures = []
     for key in sorted(set(before) | set(after)):

@@ -34,6 +34,17 @@ DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
     m_batched_jobs_ =
         &sink.metrics->counter("ghs_serve_batched_jobs_total", with_inst({}),
                                "Jobs that rode a multi-job launch");
+    if (sink.timeline) {
+      // Timeline-only: busy time per device, credited at launch, which the
+      // ghs::timeseries scraper turns into utilization-over-time. Gated on
+      // Sink::timeline so snapshot-only runs keep their instrument set.
+      m_gpu_busy_ps_ = &sink.metrics->counter(
+          "ghs_serve_device_busy_ps_total", with_inst({{"device", "gpu"}}),
+          "Simulated picoseconds of device service, credited at launch");
+      m_cpu_busy_ps_ = &sink.metrics->counter(
+          "ghs_serve_device_busy_ps_total", with_inst({{"device", "cpu"}}),
+          "Simulated picoseconds of device service, credited at launch");
+    }
   }
 }
 
@@ -125,6 +136,7 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
   if (device == Placement::kGpu) {
     gpu_busy_ = true;
     stats_.gpu_busy += service;
+    if (m_gpu_busy_ps_ != nullptr) m_gpu_busy_ps_->inc(service);
     if (failed) {
       ++stats_.gpu_failed_launches;
     } else {
@@ -133,6 +145,7 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
   } else {
     cpu_busy_ = true;
     stats_.cpu_busy += service;
+    if (m_cpu_busy_ps_ != nullptr) m_cpu_busy_ps_->inc(service);
     if (failed) {
       ++stats_.cpu_failed_launches;
     } else {

@@ -99,6 +99,9 @@ class DevicePool {
   telemetry::Counter* m_gpu_launches_ = nullptr;
   telemetry::Counter* m_cpu_launches_ = nullptr;
   telemetry::Counter* m_batched_jobs_ = nullptr;
+  /// Non-null only with Sink::timeline (scraped runs).
+  telemetry::Counter* m_gpu_busy_ps_ = nullptr;
+  telemetry::Counter* m_cpu_busy_ps_ = nullptr;
   bool gpu_busy_ = false;
   bool cpu_busy_ = false;
   std::int64_t next_launch_id_ = 0;

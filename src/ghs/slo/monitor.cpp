@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "ghs/serve/service.hpp"
+#include "ghs/timeseries/query.hpp"
 #include "ghs/util/error.hpp"
 
 namespace ghs::slo {
@@ -193,34 +194,25 @@ Report Monitor::evaluate() const {
       burn.short_window = rule.short_window;
       burn.threshold = rule.threshold;
 
-      // Two-pointer sweep: at each sample instant t the windows are
-      // (t - w, t]; `long_lo`/`short_lo` trail behind the cursor and the
-      // running bad counts update in O(1) per step.
-      std::size_t long_lo = 0;
-      std::size_t short_lo = 0;
-      std::int64_t long_bad = 0;
-      std::int64_t short_bad = 0;
+      // Each sample pushed as 0 (good) / 1 (bad) into a pair of sliding
+      // windows; after push the windows hold exactly (t - w, t], so
+      // sum()/count() is the windowed bad fraction. The 0/1 running sums
+      // are exact in doubles, so this reproduces the old two-pointer
+      // sweep's reports byte for byte.
+      timeseries::SlidingWindow long_w(rule.long_window);
+      timeseries::SlidingWindow short_w(rule.short_window);
       bool alerting = false;
       for (std::size_t k = 0; k < samples.size(); ++k) {
         const SimTime now = samples[k].at;
-        if (!samples[k].good) {
-          ++long_bad;
-          ++short_bad;
-        }
-        while (samples[long_lo].at <= now - rule.long_window) {
-          if (!samples[long_lo].good) --long_bad;
-          ++long_lo;
-        }
-        while (samples[short_lo].at <= now - rule.short_window) {
-          if (!samples[short_lo].good) --short_bad;
-          ++short_lo;
-        }
-        const double long_n = static_cast<double>(k + 1 - long_lo);
-        const double short_n = static_cast<double>(k + 1 - short_lo);
+        const double bad = samples[k].good ? 0.0 : 1.0;
+        long_w.push(now, bad);
+        short_w.push(now, bad);
         const double burn_long =
-            (static_cast<double>(long_bad) / long_n) / budget_of(obj.target);
+            (long_w.sum() / static_cast<double>(long_w.count())) /
+            budget_of(obj.target);
         const double burn_short =
-            (static_cast<double>(short_bad) / short_n) / budget_of(obj.target);
+            (short_w.sum() / static_cast<double>(short_w.count())) /
+            budget_of(obj.target);
         burn.peak_burn = std::max(burn.peak_burn, burn_long);
 
         const bool over =

@@ -143,6 +143,11 @@ class FlightRecorder;
 struct Sink {
   class Registry* metrics = nullptr;
   FlightRecorder* flight = nullptr;
+  /// Register the extra time-resolved instruments (per-device busy time)
+  /// that the ghs::timeseries scraper consumes. Off by default so a
+  /// snapshot-only run's instrument set — and its exported bytes — stay
+  /// identical to timeline-free builds.
+  bool timeline = false;
 
   explicit operator bool() const {
     return metrics != nullptr || flight != nullptr;

@@ -1,0 +1,53 @@
+// Byte-stable exporters for a scraped Tsdb: the `--series-out` JSON/CSV
+// dump and the Perfetto counter tracks merged into ChromeTraceExporter
+// timelines.
+//
+// Format "ghs-series-v1" (scripts/metrics_diff.py --series reads it):
+//
+//   {"format":"ghs-series-v1","interval_ps":...,"scrapes":...,
+//    "series":{
+//      "ghs_serve_queue_depth{node=\"0\"}":{
+//        "kind":"gauge","points":N,"dropped":D,"sum":...,"dropped_sum":...,
+//        "samples":[[at_ps,value],...],              // raw ring, oldest first
+//        "rollups":[{"tier":1,"rows":[[begin_ps,end_ps,count,min,mean,max,
+//                                      last],...]},...]},
+//      ...}}
+//
+// Timestamps are integer picoseconds (exact); every double goes through one
+// %.6f shape, and series appear in key order, so two same-seed runs write
+// byte-identical files. The CSV flattens the same data, raw samples as
+// tier 0 rows.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "ghs/timeseries/tsdb.hpp"
+#include "ghs/trace/chrome_exporter.hpp"
+
+namespace ghs::timeseries {
+
+/// Scrape metadata echoed into the dump header.
+struct SeriesMeta {
+  SimTime interval = 0;
+  std::int64_t scrapes = 0;
+};
+
+void write_series_json(std::ostream& os, const Tsdb& store,
+                       const SeriesMeta& meta);
+void write_series_csv(std::ostream& os, const Tsdb& store,
+                      const SeriesMeta& meta);
+
+/// Builds the Perfetto counter tracks (raw samples only) for the series a
+/// timeline reader wants next to the span trees:
+///  - ghs_serve_queue_depth*           -> queue depth per instance
+///  - ghs_serve_device_busy_ps_total*  -> utilization (busy delta/interval)
+///  - ghs_um_resident_bytes*           -> HBM/LPDDR residency in MiB
+///  - ghs_serve_breaker_state*         -> breaker state (0 closed .. 2 open)
+/// Track order follows store key order, so the merged trace file is as
+/// deterministic as the spans it joins.
+std::vector<trace::CounterTrack> counter_tracks(const Tsdb& store,
+                                                SimTime interval);
+
+}  // namespace ghs::timeseries

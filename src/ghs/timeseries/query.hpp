@@ -1,0 +1,62 @@
+// Windowed queries over scraped series, plus the SlidingWindow primitive
+// the slo::Monitor burn-rate sweep runs on.
+//
+// SlidingWindow replaces ad-hoc two-pointer bookkeeping: push samples in
+// time order and the window keeps exactly the entries with
+// at > now - window, maintaining a running sum and count. For the 0/1
+// samples the SLO monitor feeds it the running sum is exact (small
+// integers in doubles), so the refactored monitor reproduces its previous
+// reports byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "ghs/timeseries/tsdb.hpp"
+
+namespace ghs::timeseries {
+
+/// A time-sliding window over a stream of (at, value) samples pushed in
+/// non-decreasing time order. After push(at, v) the window holds every
+/// sample with timestamp in (at - window, at].
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(SimTime window);
+
+  void push(SimTime at, double value);
+
+  SimTime window() const { return window_; }
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  /// Running sum of the windowed values. Exact for integer-valued samples
+  /// (the SLO monitor's 0/1 stream); subject to the usual floating-point
+  /// cancellation otherwise.
+  double sum() const { return sum_; }
+  double mean() const {
+    return samples_.empty() ? 0.0
+                            : sum_ / static_cast<double>(samples_.size());
+  }
+
+ private:
+  SimTime window_;
+  std::deque<Sample> samples_;
+  double sum_ = 0.0;
+};
+
+/// Per-second rate of a counter-delta series over (at - window, at]:
+/// raw samples inside the window plus rollups wholly contained in it
+/// (partially overlapping rollups are excluded — by construction they are
+/// older than every raw sample, so this only under-counts when the window
+/// reaches past raw retention). Window is in picoseconds like every
+/// SimTime.
+double rate_per_sec(const Series& series, SimTime window, SimTime at);
+
+/// Quantile (q in [0,1]) of the raw samples in (at - window, at]; nullopt
+/// when the window holds no raw samples. Rollups cannot contribute — a
+/// min/mean/max summary has no distribution to interpolate.
+std::optional<double> quantile_over_window(const Series& series, double q,
+                                           SimTime window, SimTime at);
+
+}  // namespace ghs::timeseries

@@ -1,0 +1,204 @@
+#include "ghs/timeseries/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ghs/stats/summary.hpp"
+
+namespace ghs::timeseries {
+
+namespace {
+
+std::string fixed6(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+double to_ms(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+void write_escaped_json(std::ostream& os, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+bool starts_with(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+/// Human-readable series tag: label block without braces/quotes, or the
+/// bare name when unlabelled.
+std::string display_name(const std::string& key) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return key;
+  std::string out;
+  for (std::size_t i = brace + 1; i + 1 < key.size(); ++i) {
+    if (key[i] != '"') out.push_back(key[i]);
+  }
+  return out;
+}
+
+TimelineSeriesStats stats_of(const Series& series, double scale) {
+  TimelineSeriesStats out;
+  out.series = series.key();
+  // Retained data only: dropped rollups have no timestamps left to place a
+  // peak at, and their sums are a vanishing share of long runs.
+  std::int64_t count = 0;
+  double sum = 0.0;
+  bool have_peak = false;
+  const auto consider_peak = [&](double value, SimTime at) {
+    if (!have_peak || value > out.peak) {
+      out.peak = value;
+      out.peak_at = at;
+      have_peak = true;
+    }
+  };
+  std::vector<double> raw_values;
+  raw_values.reserve(series.raw().size());
+  for (const auto& tier : series.tiers()) {
+    for (const Rollup& rollup : tier) {
+      count += rollup.count;
+      sum += rollup.sum * scale;
+      consider_peak(rollup.max * scale, rollup.end);
+    }
+  }
+  for (const Sample& sample : series.raw()) {
+    ++count;
+    const double value = sample.value * scale;
+    sum += value;
+    raw_values.push_back(value);
+    consider_peak(value, sample.at);
+  }
+  out.samples = count;
+  out.mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  out.p95 = raw_values.empty() ? 0.0
+                               : stats::percentile(std::move(raw_values), 0.95);
+  return out;
+}
+
+void find_saturation(const Series& series, double scale, double threshold,
+                     const TimelineOptions& options,
+                     std::vector<SaturationWindow>& out) {
+  SaturationWindow window;
+  window.series = series.key();
+  std::int64_t run = 0;
+  const auto flush = [&]() {
+    if (run >= options.min_points) out.push_back(window);
+    run = 0;
+    window.peak = 0.0;
+  };
+  for (const Sample& sample : series.raw()) {
+    const double value = sample.value * scale;
+    if (value >= threshold) {
+      if (run == 0) window.begin = sample.at;
+      window.end = sample.at;
+      window.peak = std::max(window.peak, value);
+      window.points = ++run;
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+void write_stats_json(std::ostream& os,
+                      const std::vector<TimelineSeriesStats>& stats) {
+  os << "[";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto& s = stats[i];
+    if (i > 0) os << ",";
+    os << "{\"series\":\"";
+    write_escaped_json(os, s.series);
+    os << "\",\"samples\":" << s.samples << ",\"mean\":" << fixed6(s.mean)
+       << ",\"p95\":" << fixed6(s.p95) << ",\"peak\":" << fixed6(s.peak)
+       << ",\"peak_at_ms\":" << fixed6(to_ms(s.peak_at)) << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+TimelineReport build_timeline(const Tsdb& store,
+                              const TimelineOptions& options) {
+  TimelineReport report;
+  report.interval = options.interval;
+  const double util_scale =
+      options.interval > 0 ? 1.0 / static_cast<double>(options.interval) : 1.0;
+  const double queue_limit =
+      options.queue_threshold * static_cast<double>(options.queue_capacity);
+  store.visit([&](const Series& series) {
+    if (starts_with(series.key(), "ghs_serve_device_busy_ps_total")) {
+      report.utilization.push_back(stats_of(series, util_scale));
+      find_saturation(series, util_scale, options.utilization_threshold,
+                      options, report.saturation);
+    } else if (starts_with(series.key(), "ghs_serve_queue_depth")) {
+      report.queue_depth.push_back(stats_of(series, 1.0));
+      find_saturation(series, 1.0, queue_limit, options, report.saturation);
+    }
+  });
+  // Windows currently group by series (store order); present them the way
+  // an operator reads an incident: in time order.
+  std::stable_sort(report.saturation.begin(), report.saturation.end(),
+                   [](const SaturationWindow& a, const SaturationWindow& b) {
+                     return a.begin < b.begin;
+                   });
+  return report;
+}
+
+void TimelineReport::write_json(std::ostream& os) const {
+  os << "{\"interval_us\":"
+     << fixed6(static_cast<double>(interval) /
+               static_cast<double>(kMicrosecond))
+     << ",\"utilization\":";
+  write_stats_json(os, utilization);
+  os << ",\"queue_depth\":";
+  write_stats_json(os, queue_depth);
+  os << ",\"saturation\":[";
+  for (std::size_t i = 0; i < saturation.size(); ++i) {
+    const auto& w = saturation[i];
+    if (i > 0) os << ",";
+    os << "{\"series\":\"";
+    write_escaped_json(os, w.series);
+    os << "\",\"begin_ms\":" << fixed6(to_ms(w.begin))
+       << ",\"end_ms\":" << fixed6(to_ms(w.end)) << ",\"points\":" << w.points
+       << ",\"peak\":" << fixed6(w.peak) << "}";
+  }
+  os << "]}";
+}
+
+void TimelineReport::write_table(std::ostream& os) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "timeline (%.0fus scrapes): %zu utilization, %zu queue "
+                "series, %zu saturation window(s)\n",
+                static_cast<double>(interval) /
+                    static_cast<double>(kMicrosecond),
+                utilization.size(), queue_depth.size(), saturation.size());
+  os << buf;
+  const auto print_stats = [&](const char* what,
+                               const std::vector<TimelineSeriesStats>& rows) {
+    for (const auto& s : rows) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-6s %-28s mean %8.3f  p95 %8.3f  peak %8.3f @%.3fms\n",
+                    what, display_name(s.series).c_str(), s.mean, s.p95,
+                    s.peak, to_ms(s.peak_at));
+      os << buf;
+    }
+  };
+  print_stats("util", utilization);
+  print_stats("queue", queue_depth);
+  for (const auto& w : saturation) {
+    std::snprintf(buf, sizeof(buf),
+                  "  SATURATED %-28s [%.3fms, %.3fms] %lld scrape(s) peak "
+                  "%.3f\n",
+                  display_name(w.series).c_str(), to_ms(w.begin), to_ms(w.end),
+                  static_cast<long long>(w.points), w.peak);
+    os << buf;
+  }
+}
+
+}  // namespace ghs::timeseries

@@ -1,0 +1,74 @@
+// Timeline report: turns a scraped Tsdb into the time-resolved summary
+// the loadgens append next to their end-of-run aggregates — per-instance
+// utilization and queue-depth statistics over time, plus "saturation
+// windows": maximal runs of consecutive scrapes where an instance sat at
+// (or beyond) its limit. A fleet whose aggregate p99 looks healthy can
+// still show a node pinned for half a millisecond here; that transient is
+// exactly what the end-of-run report hides.
+//
+// Per-node grouping falls out of the series keys: cluster instruments
+// carry node="i" labels, so every node contributes its own series and the
+// report lists them separately.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ghs/timeseries/tsdb.hpp"
+
+namespace ghs::timeseries {
+
+struct TimelineOptions {
+  /// The scrape interval (converts busy-ps deltas to utilization).
+  SimTime interval = kMillisecond;
+  /// A utilization sample at or above this is saturated. Busy time is
+  /// credited at launch, so values can exceed 1.0.
+  double utilization_threshold = 0.95;
+  /// A queue-depth sample at or above this fraction of queue_capacity is
+  /// saturated.
+  double queue_threshold = 0.75;
+  std::size_t queue_capacity = 64;
+  /// Consecutive saturated scrapes needed before a window is reported.
+  std::int64_t min_points = 2;
+};
+
+/// Over-time statistics for one series (already scaled: utilization in
+/// [0, ~], queue depth in jobs).
+struct TimelineSeriesStats {
+  std::string series;  // full store key
+  std::int64_t samples = 0;
+  double mean = 0.0;
+  /// p95 of the raw (retained) samples; rollup-folded history contributes
+  /// to mean/peak but has no distribution left to take a quantile of.
+  double p95 = 0.0;
+  double peak = 0.0;
+  SimTime peak_at = 0;
+};
+
+/// One maximal run of >= min_points consecutive saturated scrapes.
+struct SaturationWindow {
+  std::string series;
+  SimTime begin = 0;  // first saturated scrape instant
+  SimTime end = 0;    // last saturated scrape instant
+  std::int64_t points = 0;
+  double peak = 0.0;
+};
+
+struct TimelineReport {
+  SimTime interval = 0;
+  std::vector<TimelineSeriesStats> utilization;
+  std::vector<TimelineSeriesStats> queue_depth;
+  std::vector<SaturationWindow> saturation;
+
+  /// One JSON object, stable key order, fixed formatting.
+  void write_json(std::ostream& os) const;
+  /// Human summary (the loadgens print it to stderr).
+  void write_table(std::ostream& os) const;
+};
+
+TimelineReport build_timeline(const Tsdb& store,
+                              const TimelineOptions& options);
+
+}  // namespace ghs::timeseries

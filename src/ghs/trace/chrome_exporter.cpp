@@ -78,8 +78,14 @@ const char* ChromeTraceExporter::process_name(int pid) {
       return "Grace CPU";
     case 3:
       return "Reduction service";
+    case kTelemetryPid:
+      return "Telemetry";
   }
   return "?";
+}
+
+void ChromeTraceExporter::add_counter_track(CounterTrack track) {
+  counters_.push_back(std::move(track));
 }
 
 void ChromeTraceExporter::write(std::ostream& os) const {
@@ -107,6 +113,21 @@ void ChromeTraceExporter::write(std::ostream& os) const {
     os << "{\"pid\":" << process_of(track) << ",\"tid\":" << t
        << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\""
        << track_name(track) << "\"}}";
+  }
+  // Counter metadata exists only when tracks were added, so counter-free
+  // exports stay byte-identical to pre-counter builds.
+  if (!counters_.empty()) {
+    sep();
+    os << "{\"pid\":" << kTelemetryPid
+       << ",\"tid\":0,\"ph\":\"M\",\"name\":\"process_name\",\"args\":"
+       << "{\"name\":\"" << process_name(kTelemetryPid) << "\"}}";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      sep();
+      os << "{\"pid\":" << kTelemetryPid << ",\"tid\":" << i
+         << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      write_escaped(os, counters_[i].name);
+      os << "\"}}";
+    }
   }
 
   const auto write_ctx_args = [&](const Context& ctx,
@@ -193,6 +214,21 @@ void ChromeTraceExporter::write(std::ostream& os) const {
            << "\",\"cat\":\"job\",\"name\":\"job flow\",\"ts\":"
            << to_trace_us(to->begin) << "}";
       }
+    }
+  }
+
+  // Counter tracks last: "ph":"C" samples on the telemetry process, one
+  // tid per track, values through one snprintf shape for byte stability.
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    for (const auto& sample : counters_[i].samples) {
+      char value_buf[64];
+      std::snprintf(value_buf, sizeof(value_buf), "%.6f", sample.value);
+      sep();
+      os << "{\"pid\":" << kTelemetryPid << ",\"tid\":" << i
+         << ",\"ph\":\"C\",\"ts\":" << to_trace_us(sample.at)
+         << ",\"name\":\"";
+      write_escaped(os, counters_[i].name);
+      os << "\",\"args\":{\"value\":" << value_buf << "}}";
     }
   }
 

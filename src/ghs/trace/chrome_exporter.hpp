@@ -14,6 +14,8 @@
 #pragma once
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "ghs/trace/tracer.hpp"
 
@@ -24,21 +26,42 @@ struct ChromeTraceOptions {
   bool flow_events = true;
 };
 
+/// One point on a Perfetto counter track; timestamps share the span
+/// timebase, so counters line up under the span trees.
+struct CounterSample {
+  SimTime at = 0;
+  double value = 0.0;
+};
+
+/// A named counter track ("ph":"C" events) rendered on the telemetry
+/// process; ghs::timeseries builds these from scraped series.
+struct CounterTrack {
+  std::string name;
+  std::vector<CounterSample> samples;
+};
+
 class ChromeTraceExporter {
  public:
   explicit ChromeTraceExporter(const Tracer& tracer,
                                ChromeTraceOptions options = {});
 
+  /// Adds a counter track to the export. With no tracks added the output
+  /// is byte-identical to a counter-free build.
+  void add_counter_track(CounterTrack track);
+
   void write(std::ostream& os) const;
 
   /// Process ("pid") a track renders under: 1 = H100 GPU, 2 = Grace CPU,
-  /// 3 = reduction service / runtime.
+  /// 3 = reduction service / runtime. Counter tracks render under
+  /// kTelemetryPid.
   static int process_of(Track track);
   static const char* process_name(int pid);
+  static constexpr int kTelemetryPid = 4;
 
  private:
   const Tracer& tracer_;
   ChromeTraceOptions options_;
+  std::vector<CounterTrack> counters_;
 };
 
 }  // namespace ghs::trace
