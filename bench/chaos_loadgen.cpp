@@ -255,6 +255,9 @@ int main(int argc, char** argv) {
 
   const auto scrape = bench::scrape_settings_or_exit(
       "chaos_loadgen", *scrape_interval, *series_out);
+  bench::require_positive("chaos_loadgen", "--jobs", *jobs);
+  bench::require_positive("chaos_loadgen", "--rate", *rate);
+  bench::require_positive("chaos_loadgen", "--depth", *depth);
   bench::require_writable_path("chaos_loadgen", *metrics_out);
   bench::require_writable_path("chaos_loadgen", *trace_path);
 

@@ -9,6 +9,8 @@
 //   $ ./bench/cluster_loadgen --remote-fraction=0.5       # pay transfers
 //   $ ./bench/cluster_loadgen --scaling --nodes=16        # 1 vs 16 nodes
 //   $ ./bench/cluster_loadgen --plan=down.plan --fault-node=2 --slo
+//   $ ./bench/cluster_loadgen --crash-plan=1@300us:2ms --heartbeat-us=100
+//   $ ./bench/cluster_loadgen --drain-at=3@1ms                # graceful
 //
 // --rate is PER NODE: total offered load is rate * nodes, so --scaling
 // compares a single node against a fleet at identical per-node load and
@@ -170,6 +172,45 @@ void write_fixed(std::ostream& os, double value) {
   os << buf;
 }
 
+/// Parses a --drain-at schedule: `node@time` entries separated by commas
+/// or whitespace, times in fault-plan duration grammar ("300us", "2ms").
+std::vector<cluster::DrainSpec> parse_drains(const std::string& text) {
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ',') c = ' ';
+  }
+  std::istringstream in(normalized);
+  std::vector<cluster::DrainSpec> drains;
+  std::string entry;
+  while (in >> entry) {
+    const auto at = entry.find('@');
+    GHS_REQUIRE(at != std::string::npos && at > 0 && at + 1 < entry.size(),
+                "drain spec '" << entry << "' must be node@time");
+    cluster::DrainSpec spec;
+    std::size_t used = 0;
+    spec.node = std::stoi(entry.substr(0, at), &used);
+    GHS_REQUIRE(used == at && spec.node >= 0,
+                "drain spec '" << entry << "' needs a node index >= 0");
+    spec.at = fault::parse_duration(entry.substr(at + 1));
+    GHS_REQUIRE(spec.at > 0, "drain spec '" << entry
+                                            << "' needs a positive time");
+    drains.push_back(spec);
+  }
+  return drains;
+}
+
+/// Satellite validation: every node-index flag must name a node that
+/// exists in the --nodes fleet, or the run exits 2 Cli-style.
+void require_node_index(const std::string& program, const std::string& flag,
+                        int node, int nodes) {
+  if (node < 0 || node >= nodes) {
+    std::cerr << program << ": " << flag << " targets node " << node
+              << ", out of range for --nodes=" << nodes << " (valid: 0..."
+              << nodes - 1 << ")\n";
+    std::exit(2);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +255,15 @@ int main(int argc, char** argv) {
       cli.add_int("fault-node", 0, "node the fault plan strikes");
   const auto* fault_seed =
       cli.add_int("fault-seed", 7, "fault-injector RNG seed");
+  const auto* crash_plan = cli.add_string(
+      "crash-plan", "",
+      "whole-node crash schedule: node@at[:restart],... (e.g. 1@300us:2ms)");
+  const auto* drain_at = cli.add_string(
+      "drain-at", "", "graceful drain schedule: node@time,...");
+  const auto* heartbeat_us = cli.add_int(
+      "heartbeat-us", 0,
+      "phi-accrual failure-detector heartbeat interval, microseconds "
+      "(0 = detector off, crashes detected instantly)");
   const auto* scaling = cli.add_flag(
       "scaling",
       "also run a single node at the same per-node load and report speedup");
@@ -240,6 +290,39 @@ int main(int argc, char** argv) {
       "cluster_loadgen", *scrape_interval, *series_out);
   bench::require_writable_path("cluster_loadgen", *metrics_out);
   bench::require_writable_path("cluster_loadgen", *trace_path);
+
+  if (*nodes < 1) {
+    std::cerr << "cluster_loadgen: --nodes must be >= 1, got " << *nodes
+              << "\n";
+    return 2;
+  }
+  bench::require_positive("cluster_loadgen", "--jobs", *jobs);
+  bench::require_positive("cluster_loadgen", "--rate", *rate);
+  bench::require_positive("cluster_loadgen", "--depth", *depth);
+  if (*heartbeat_us < 0) {
+    std::cerr << "cluster_loadgen: --heartbeat-us must be >= 0, got "
+              << *heartbeat_us << "\n";
+    return 2;
+  }
+  require_node_index("cluster_loadgen", "--fault-node",
+                     static_cast<int>(*fault_node), static_cast<int>(*nodes));
+  fault::NodeCrashPlan crashes;
+  std::vector<cluster::DrainSpec> drains;
+  try {
+    if (!crash_plan->empty()) crashes = fault::parse_crash_plan(*crash_plan);
+    if (!drain_at->empty()) drains = parse_drains(*drain_at);
+  } catch (const Error& error) {
+    std::cerr << "cluster_loadgen: " << error.what() << "\n";
+    return 2;
+  }
+  for (const auto& crash : crashes.crashes) {
+    require_node_index("cluster_loadgen", "--crash-plan", crash.node,
+                       static_cast<int>(*nodes));
+  }
+  for (const auto& drain : drains) {
+    require_node_index("cluster_loadgen", "--drain-at", drain.node,
+                       static_cast<int>(*nodes));
+  }
 
   telemetry::Registry registry;
   telemetry::FlightRecorder flight;
@@ -268,6 +351,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   settings.cluster.node.sim.queue = *parsed_queue;
+  settings.cluster.crash_plan = crashes;
+  settings.cluster.drains = drains;
+  if (*heartbeat_us > 0) {
+    settings.cluster.health.enabled = true;
+    settings.cluster.health.interval = *heartbeat_us * kMicrosecond;
+  }
+  const bool membership = !crashes.empty() || !drains.empty() ||
+                          settings.cluster.health.enabled;
+  if (membership && *router == "passthrough") {
+    std::cerr << "cluster_loadgen: --crash-plan/--drain-at/--heartbeat-us "
+                 "need a real fleet router, not passthrough\n";
+    return 2;
+  }
 
   serve::WorkloadShape shape;
   shape.min_log2_elements = static_cast<int>(*min_log2);
@@ -315,6 +411,13 @@ int main(int argc, char** argv) {
       << (plan_path->empty() ? "none" : *plan_path) << "\"";
   // Echoed only when scraping, so unscraped reports keep their exact bytes.
   if (scraping) out << ",\"scrape_interval_us\":" << *scrape_interval;
+  // Membership knobs echoed only when the layer is on, for the same reason.
+  if (membership) {
+    out << ",\"crash_plan\":\""
+        << (crashes.empty() ? "none" : fault::format_crash_plan(crashes))
+        << "\",\"drains\":" << drains.size()
+        << ",\"heartbeat_us\":" << *heartbeat_us;
+  }
   out << "},\"routers\":[";
 
   std::vector<cluster::ClusterReport> reports(routers.size());
@@ -368,6 +471,12 @@ int main(int argc, char** argv) {
     RunSettings single = settings;
     single.cluster.nodes = 1;
     single.cluster.fault_node = 0;
+    // The scaling denominator stays crash-free: a node schedule written
+    // for the fleet would be out of range (and meaningless) on one node.
+    single.cluster.crash_plan = fault::NodeCrashPlan{};
+    single.cluster.drains.clear();
+    single.cluster.health = membership::HealthOptions{};
+    single.cluster.enable_membership = false;
     single.open.rate_hz = *rate;
     single.open.jobs = std::max<std::int64_t>(*jobs / *nodes, 1);
     single.scrape = bench::ScrapeSettings{};
@@ -398,6 +507,35 @@ int main(int argc, char** argv) {
     out << ",\"p99_ratio\":";
     write_fixed(out, p99_ratio);
     out << "}";
+  }
+
+  if (membership) {
+    // Recovery accounting per router: detection latency, replay volume,
+    // jobs recovered. Mirrors the per-report "membership" key, but in one
+    // place for the perf gate and for humans.
+    out << ",\"membership_report\":[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"router\":\"" << reports[i].router << "\",\"membership\":";
+      reports[i].membership.write_json(out);
+      out << "}";
+    }
+    out << "]";
+    for (const auto& r : reports) {
+      std::fprintf(stderr,
+                   "[%s] membership: crashes=%lld restarts=%lld drains=%lld "
+                   "replayed=%lld redirected=%lld dup=%lld replay_gb=%.3f "
+                   "detect_mean_ms=%.3f detect_max_ms=%.3f\n",
+                   r.router.c_str(),
+                   static_cast<long long>(r.membership.crashes),
+                   static_cast<long long>(r.membership.restarts),
+                   static_cast<long long>(r.membership.drains),
+                   static_cast<long long>(r.membership.replayed),
+                   static_cast<long long>(r.membership.redirected),
+                   static_cast<long long>(r.membership.duplicate_suppressed),
+                   r.membership.replay_gb, r.membership.detection_mean_ms,
+                   r.membership.detection_max_ms);
+    }
   }
 
   if (*slo) {

@@ -31,6 +31,18 @@ struct ScrapeSettings {
   bool enabled() const { return interval > 0; }
 };
 
+/// Validates a numeric flag Cli-style (stderr + exit 2): the loadgens
+/// share this so `--jobs=0` or `--rate=-1` fails the same way everywhere.
+template <typename T>
+inline void require_positive(const std::string& program, const char* flag,
+                             T value) {
+  if (!(value > T{0})) {
+    std::cerr << program << ": " << flag << " must be > 0, got " << value
+              << "\n";
+    std::exit(2);
+  }
+}
+
 /// Validates the scrape flags Cli-style (stderr + exit 2): --series-out
 /// needs --scrape-interval, the interval must be non-negative, and the
 /// series path's directory must exist.

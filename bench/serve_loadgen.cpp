@@ -210,6 +210,9 @@ int main(int argc, char** argv) {
 
   const auto scrape = bench::scrape_settings_or_exit(
       "serve_loadgen", *scrape_interval, *series_out);
+  bench::require_positive("serve_loadgen", "--jobs", *jobs);
+  bench::require_positive("serve_loadgen", "--rate", *rate);
+  bench::require_positive("serve_loadgen", "--depth", *depth);
   bench::require_writable_path("serve_loadgen", *metrics_out);
   bench::require_writable_path("serve_loadgen", *trace_path);
 

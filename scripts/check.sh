@@ -19,6 +19,11 @@
 #                                 # a same-seed cluster_loadgen --series-out
 #                                 # byte-identity smoke checked with
 #                                 # metrics_diff.py --series
+#   $ scripts/check.sh membership # failure-domain suites under ASan+UBSan
+#                                 # (table/journal/detector + cluster crash,
+#                                 # drain, replay), then crash-schedule
+#                                 # byte-identity and exit-2 flag-validation
+#                                 # smokes on cluster_loadgen
 #   $ scripts/check.sh perf       # Release event-core throughput gate only:
 #                                 # a 10^5-job serve_loadgen smoke with
 #                                 # --perf, then the serve_perf wall-clock
@@ -79,13 +84,19 @@ for config in "${configs[@]}"; do
       target="timeseries_tests cluster_loadgen"
       test_regex=timeseries_tests
       ;;
+    membership)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target="membership_tests cluster_tests cluster_loadgen"
+      test_regex="membership_tests|cluster_tests"
+      ;;
     perf)
       dir=build
       flags=(-DCMAKE_BUILD_TYPE=Release -DGHS_SANITIZE=OFF)
       target=serve_loadgen
       ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|tsdb|perf)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|tsdb|membership|perf)" >&2
       exit 2
       ;;
   esac
@@ -125,6 +136,29 @@ for config in "${configs[@]}"; do
     python3 scripts/metrics_diff.py --series \
       "$tmp/a.series.json" "$tmp/b.series.json"
     rm -rf "$tmp"
+  fi
+  if [[ "$config" == membership ]]; then
+    echo "==> crash/drain determinism smoke (same-seed byte identity under ASan)"
+    tmp=$(mktemp -d)
+    "$dir/bench/cluster_loadgen" --nodes=4 --jobs=2000 \
+      --crash-plan=1@300us:2ms --drain-at=3@1ms --heartbeat-us=100 \
+      >"$tmp/a.json" 2>/dev/null
+    "$dir/bench/cluster_loadgen" --nodes=4 --jobs=2000 \
+      --crash-plan=1@300us:2ms --drain-at=3@1ms --heartbeat-us=100 \
+      >"$tmp/b.json" 2>/dev/null
+    cmp "$tmp/a.json" "$tmp/b.json"
+    rm -rf "$tmp"
+    echo "==> flag-validation smoke (out-of-range node targets exit 2)"
+    for bad in "--nodes=0" "--fault-node=9" "--crash-plan=9@1ms" \
+               "--drain-at=9@1ms" "--crash-plan=bogus"; do
+      status=0
+      "$dir/bench/cluster_loadgen" --nodes=4 "$bad" >/dev/null 2>&1 \
+        || status=$?
+      if [[ "$status" -ne 2 ]]; then
+        echo "expected exit 2 for $bad, got $status" >&2
+        exit 1
+      fi
+    done
   fi
   if [[ "$config" == release ]]; then
     echo "==> perf gate ($config)"

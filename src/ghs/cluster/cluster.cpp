@@ -50,6 +50,24 @@ bool arrival_sorted(const std::vector<serve::Job>& jobs) {
 
 }  // namespace
 
+void MembershipReport::write_json(std::ostream& os) const {
+  os << "{\"crashes\":" << crashes << ",\"restarts\":" << restarts
+     << ",\"drains\":" << drains << ",\"drain_flushed\":" << drain_flushed
+     << ",\"replayed\":" << replayed << ",\"redirected\":" << redirected
+     << ",\"duplicate_suppressed\":" << duplicate_suppressed
+     << ",\"replay_gb\":";
+  write_double(os, replay_gb);
+  os << ",\"detections\":" << detections << ",\"detection_mean_ms\":";
+  write_double(os, detection_mean_ms);
+  os << ",\"detection_max_ms\":";
+  write_double(os, detection_max_ms);
+  os << ",\"transitions\":" << transitions << ",\"final_states\":[";
+  for (std::size_t i = 0; i < final_states.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << final_states[i] << "\"";
+  }
+  os << "]}";
+}
+
 void ClusterReport::write_json(std::ostream& os) const {
   os << "{\"router\":\"" << router << "\",\"policy\":\"" << policy
      << "\",\"nodes\":" << nodes << ",\"submitted\":" << submitted
@@ -79,7 +97,14 @@ void ClusterReport::write_json(std::ostream& os) const {
     if (i != 0) os << ",";
     node_reports[i].write_json(os);
   }
-  os << "]}";
+  os << "]";
+  // Trailing key so a membership-off report is byte-identical to the
+  // pre-membership format (and strip-suffix comparable when on).
+  if (membership_aware) {
+    os << ",\"membership\":";
+    membership.write_json(os);
+  }
+  os << "}";
 }
 
 Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
@@ -95,6 +120,20 @@ Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
                   << options_.nodes);
   GHS_REQUIRE(options_.fault_node >= 0 && options_.fault_node < options_.nodes,
               "fault_node=" << options_.fault_node);
+  membership_on_ = options_.health.enabled || !options_.crash_plan.empty() ||
+                   !options_.drains.empty() || options_.enable_membership;
+  GHS_REQUIRE(!membership_on_ || !passthrough(),
+              "passthrough mode cannot run the membership layer");
+  for (const auto& crash : options_.crash_plan.crashes) {
+    GHS_REQUIRE(crash.node >= 0 && crash.node < options_.nodes,
+                "crash plan targets node " << crash.node << " of a "
+                                           << options_.nodes << "-node fleet");
+  }
+  for (const auto& spec : options_.drains) {
+    GHS_REQUIRE(spec.node >= 0 && spec.node < options_.nodes,
+                "drain targets node " << spec.node << " of a "
+                                      << options_.nodes << "-node fleet");
+  }
 
   if (passthrough()) {
     // Wire-through: one standalone service, exactly as an un-clustered
@@ -130,25 +169,35 @@ Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
     svc.set_on_reject([this, i](const serve::Job& job, SimTime at) {
       auto it = meta_.find(job.id);
       GHS_CHECK(it != meta_.end(), "reject for unrouted job " << job.id);
+      // The job is leaving node i (to a peer or to a terminal reject);
+      // its write-ahead entry there is settled either way.
+      journal_commit(i, job.id);
       if (options_.spill && options_.nodes > 1 &&
           it->second.spills < options_.nodes - 1) {
-        ++it->second.spills;
-        ++spills_;
-        if (m_spills_ != nullptr) m_spills_->inc();
-        if (flight_ != nullptr) {
-          flight_->record(at, "cluster", "spill",
-                          "job " + std::to_string(job.id) + " off node " +
-                              std::to_string(i));
+        // With the membership layer on, spill only onto nodes the table
+        // still routes to; a fleet with no live peer rejects instead.
+        const int target = membership_on_
+                               ? pick_live_target(i)
+                               : Router::least_loaded_except(all_loads(), i);
+        if (target >= 0) {
+          ++it->second.spills;
+          ++spills_;
+          if (m_spills_ != nullptr) m_spills_->inc();
+          if (flight_ != nullptr) {
+            flight_->record(at, "cluster", "spill",
+                            "job " + std::to_string(job.id) + " off node " +
+                                std::to_string(i));
+          }
+          deliver(job, target, job.source_node);
+          return;
         }
-        deliver(job, Router::least_loaded_except(all_loads(), i),
-                job.source_node);
-        return;
       }
       finish_reject(job, at);
     });
-    svc.set_on_shed([this](const serve::Job& job, SimTime at) {
+    svc.set_on_shed([this, i](const serve::Job& job, SimTime at) {
       auto it = meta_.find(job.id);
       GHS_CHECK(it != meta_.end(), "shed for unrouted job " << job.id);
+      journal_commit(i, job.id);
       meta_.erase(it);
       shed_.push_back(job);
       shed_at_.push_back(at);
@@ -158,6 +207,7 @@ Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
       auto it = meta_.find(record.job.id);
       GHS_CHECK(it != meta_.end(),
                 "completion for unrouted job " << record.job.id);
+      journal_commit(i, record.job.id);
       const JobMeta& meta = it->second;
       ClusterRecord cr;
       cr.record = record;
@@ -215,6 +265,55 @@ Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
     m_latency_ms_ = &r.histogram(
         "ghs_cluster_latency_ms", telemetry::default_latency_buckets_ms(),
         router_label, "Front-door arrival-to-completion latency");
+  }
+
+  if (!membership_on_) return;
+  table_ = std::make_unique<membership::Table>(options_.nodes);
+  journal_ = std::make_unique<membership::JobJournal>(options_.nodes);
+  up_.assign(static_cast<std::size_t>(options_.nodes), 1);
+  crashed_at_.assign(static_cast<std::size_t>(options_.nodes), -1);
+  if (options_.node.telemetry.metrics != nullptr) {
+    // Membership instruments only exist on membership runs, keeping every
+    // other snapshot's byte stream unchanged.
+    telemetry::Registry& r = *options_.node.telemetry.metrics;
+    m_replayed_ =
+        &r.counter("ghs_membership_replayed_jobs_total", {},
+                   "Journaled jobs replayed after a node death or restart");
+    m_dup_suppressed_ = &r.counter(
+        "ghs_membership_duplicate_suppressed_total", {},
+        "Deliveries dropped because their journal entry was already "
+        "replayed elsewhere");
+    m_replay_bytes_ = &r.counter("ghs_membership_replay_bytes_total", {},
+                                 "Bytes re-shipped by journal replay");
+    m_transitions_ = &r.counter("ghs_membership_transitions_total", {},
+                                "Membership state transitions");
+    m_node_state_.resize(static_cast<std::size_t>(options_.nodes));
+    for (int i = 0; i < options_.nodes; ++i) {
+      m_node_state_[static_cast<std::size_t>(i)] = &r.gauge(
+          "ghs_membership_node_state", {{"node", std::to_string(i)}},
+          "Membership state (0 alive, 1 suspect, 2 dead, 3 draining, "
+          "4 left)");
+    }
+  }
+  table_->set_on_transition([this](const membership::Transition& t) {
+    on_membership_transition(t);
+  });
+  if (options_.health.enabled) {
+    monitor_ = std::make_unique<membership::HealthMonitor>(
+        sim_, *table_, options_.health,
+        [this](int i) { return up_[static_cast<std::size_t>(i)] != 0; });
+    monitor_->start();
+  }
+  for (const auto& crash : options_.crash_plan.crashes) {
+    sim_.schedule_at(crash.at,
+                     [this, node = crash.node] { do_crash(node); });
+    if (crash.restart_at > 0) {
+      sim_.schedule_at(crash.restart_at,
+                       [this, node = crash.node] { do_restart(node); });
+    }
+  }
+  for (const auto& spec : options_.drains) {
+    sim_.schedule_at(spec.at, [this, node = spec.node] { do_drain(node); });
   }
 }
 
@@ -289,20 +388,37 @@ void Cluster::pump(ArrivalChain* chain) {
 }
 
 void Cluster::route(serve::Job job) {
-  const int target = router_.pick(job, all_loads());
-  ++routed_[static_cast<std::size_t>(target)];
+  int target = router_.pick(job, all_loads());
+  // The hash ring already excludes departed nodes; the load-based picks
+  // see every index, so correct a choice the membership table has since
+  // declared dead/draining/left. (A crashed-but-undetected node is still
+  // "serving" here: the job bounces off it and spills — that bounce is
+  // the real cost of detection latency.)
+  if (membership_on_ && !table_->serving(target)) {
+    target = pick_live_target(-1);
+  }
   if (first_arrival_ < 0 || job.arrival < first_arrival_) {
     first_arrival_ = job.arrival;
   }
   JobMeta meta;
   meta.original_arrival = job.arrival;
   meta_.emplace(job.id, meta);
+  if (target < 0) {
+    // No live node left to take the job.
+    finish_reject(job, sim_.now());
+    return;
+  }
+  ++routed_[static_cast<std::size_t>(target)];
   const int home = job.source_node;
   deliver(std::move(job), target, home);
 }
 
 void Cluster::deliver(serve::Job job, int target, int transfer_src) {
   GHS_REQUIRE(target >= 0 && target < options_.nodes, "deliver to " << target);
+  // Write-ahead: the journal owns the job from the moment the cluster
+  // commits to this delivery, before any transfer time elapses — so a
+  // crash anywhere downstream can always replay it.
+  if (journal_ != nullptr) journal_->append(target, job);
   ++pending_[static_cast<std::size_t>(target)];
   if (interconnect_ == nullptr || transfer_src < 0 ||
       transfer_src == target) {
@@ -326,9 +442,15 @@ void Cluster::deliver(serve::Job job, int target, int transfer_src) {
       [this, job = std::move(job), target, transfer_src, begin]() mutable {
         const SimTime end = sim_.now();
         auto meta_it = meta_.find(job.id);
-        GHS_CHECK(meta_it != meta_.end(),
-                  "transfer landed for unrouted job " << job.id);
-        meta_it->second.transfer += end - begin;
+        if (meta_it != meta_.end()) {
+          meta_it->second.transfer += end - begin;
+        } else {
+          // Meta may only be gone when the journal replayed this job onto
+          // a peer and it already finished there — submit_to will drop
+          // the late copy. Anything else is a routing bug.
+          GHS_CHECK(journal_ != nullptr && !journal_->is_open(target, job.id),
+                    "transfer landed for unrouted job " << job.id);
+        }
         if (tracer_ != nullptr) {
           tracer_->record(trace::Track::kServer, "cluster.xfer", begin, end,
                           "node" + std::to_string(transfer_src) + "->node" +
@@ -342,6 +464,36 @@ void Cluster::deliver(serve::Job job, int target, int transfer_src) {
 
 void Cluster::submit_to(serve::Job job, int target) {
   --pending_[static_cast<std::size_t>(target)];
+  if (journal_ != nullptr) {
+    if (!journal_->is_open(target, job.id)) {
+      // The journal replayed this job onto a peer while the delivery was
+      // still in flight; dropping the late copy here is what makes the
+      // replay exactly-once.
+      ++dup_suppressed_;
+      if (m_dup_suppressed_ != nullptr) m_dup_suppressed_->inc();
+      membership_flight(sim_.now(), "duplicate", target,
+                        "job " + std::to_string(job.id) +
+                            " landed after replay, suppressed");
+      return;
+    }
+    if (!table_->serving(target)) {
+      // Landed on a node the table has since declared dead/draining/left:
+      // re-point at a live peer, priced from wherever the data was headed.
+      journal_->commit(target, job.id);
+      const int next = pick_live_target(target);
+      ++redirected_;
+      membership_flight(sim_.now(), "redirect", target,
+                        "job " + std::to_string(job.id) + " re-pointed to " +
+                            (next < 0 ? std::string("nowhere")
+                                      : "node " + std::to_string(next)));
+      if (next < 0) {
+        finish_reject(job, sim_.now());
+        return;
+      }
+      deliver(std::move(job), next, target);
+      return;
+    }
+  }
   job.arrival = sim_.now();
   nodes_[static_cast<std::size_t>(target)]->submit(job);
 }
@@ -378,10 +530,210 @@ void Cluster::steal_from(int sick, SimTime at) {
     GHS_CHECK(it != meta_.end(), "stole unrouted job " << job.id);
     it->second.stolen = true;
     ++stolen_jobs_;
+    journal_commit(sick, job.id);
+    const int target = membership_on_
+                           ? pick_live_target(sick)
+                           : Router::least_loaded_except(all_loads(), sick);
+    if (target < 0) {
+      finish_reject(job, at);
+      continue;
+    }
     // The queued context lives on the sick node, so the move is priced
     // from there regardless of where the bytes originally came from.
-    deliver(std::move(job), Router::least_loaded_except(all_loads(), sick),
-            sick);
+    deliver(std::move(job), target, sick);
+  }
+}
+
+int Cluster::pick_live_target(int exclude) const {
+  int best = -1;
+  std::size_t best_load = 0;
+  for (int i = 0; i < options_.nodes; ++i) {
+    if (i == exclude) continue;
+    if (!table_->serving(i)) continue;
+    const std::size_t candidate = load(i);
+    if (best < 0 || candidate < best_load) {
+      best = i;
+      best_load = candidate;
+    }
+  }
+  return best;
+}
+
+void Cluster::journal_commit(int node, serve::JobId id) {
+  if (journal_ != nullptr) journal_->commit(node, id);
+}
+
+void Cluster::membership_flight(SimTime at, const char* kind, int node,
+                                const std::string& detail) {
+  telemetry::record_labeled_event(flight_, at, "membership", kind,
+                                  {{"node", std::to_string(node)}}, detail);
+}
+
+void Cluster::do_crash(int node) {
+  const auto n = static_cast<std::size_t>(node);
+  if (up_[n] == 0) return;  // already down
+  up_[n] = 0;
+  crashed_at_[n] = sim_.now();
+  ++crashes_;
+  nodes_[n]->crash();
+  membership_flight(sim_.now(), "crash", node, "node process died");
+  if (tracer_ != nullptr) {
+    tracer_->mark(trace::Track::kServer,
+                  "membership.crash node " + std::to_string(node),
+                  sim_.now());
+  }
+  if (monitor_ == nullptr &&
+      table_->state(node) != membership::NodeState::kDead) {
+    // No detector: the crash is visible instantly (zero detection
+    // latency), which is the baseline the phi-accrual numbers compare to.
+    table_->transition(node, membership::NodeState::kDead, sim_.now(),
+                       "crash (no detector)");
+  }
+}
+
+void Cluster::do_restart(int node) {
+  const auto n = static_cast<std::size_t>(node);
+  if (up_[n] != 0) return;  // never crashed, or already restarted
+  up_[n] = 1;
+  crashed_at_[n] = -1;
+  ++restarts_;
+  nodes_[n]->restore();
+  membership_flight(sim_.now(), "restart", node,
+                    "node process restarted (warm-up begins)");
+  if (tracer_ != nullptr) {
+    tracer_->mark(trace::Track::kServer,
+                  "membership.restart node " + std::to_string(node),
+                  sim_.now());
+  }
+  if (table_->state(node) == membership::NodeState::kDead) {
+    // Detected death: the open entries were already replayed onto peers.
+    // With a detector the node rejoins after its warm-up window; without
+    // one the restart is visible instantly, like the crash was.
+    if (monitor_ == nullptr) {
+      table_->transition(node, membership::NodeState::kAlive, sim_.now(),
+                         "restart (no detector)");
+    }
+  } else {
+    // The process bounced before the detector ever declared it dead, so
+    // nobody replayed for it: the restarted node recovers its own
+    // write-ahead journal locally.
+    replay_open(node, sim_.now(), /*onto_self=*/true);
+  }
+}
+
+void Cluster::drain(int node) {
+  GHS_REQUIRE(membership_on_,
+              "Cluster::drain needs the membership layer "
+              "(ClusterOptions::enable_membership, a crash plan, drains, "
+              "or the health detector)");
+  GHS_REQUIRE(node >= 0 && node < options_.nodes, "drain node " << node);
+  do_drain(node);
+}
+
+void Cluster::do_drain(int node) {
+  const membership::NodeState state = table_->state(node);
+  if (state != membership::NodeState::kAlive &&
+      state != membership::NodeState::kSuspect) {
+    return;  // already dead, draining, or departed
+  }
+  if (up_[static_cast<std::size_t>(node)] == 0) {
+    return;  // crashed but undetected: the detector owns this node's fate
+  }
+  ++drains_;
+  table_->transition(node, membership::NodeState::kDraining, sim_.now(),
+                     "drain requested");
+  std::vector<serve::Job> jobs = nodes_[static_cast<std::size_t>(node)]
+                                     ->steal_queued(
+                                         std::numeric_limits<std::size_t>::max());
+  for (auto& job : jobs) {
+    journal_commit(node, job.id);
+    ++drain_flushed_;
+    const int target = pick_live_target(node);
+    if (target < 0) {
+      finish_reject(job, sim_.now());
+      continue;
+    }
+    deliver(std::move(job), target, node);
+  }
+  // In-flight launches finish lame-duck (their completions still count);
+  // in-flight deliveries land on a non-serving node and get redirected.
+  table_->transition(node, membership::NodeState::kLeft, sim_.now(),
+                     "drained, " + std::to_string(jobs.size()) +
+                         " queued job(s) flushed");
+  membership_flight(sim_.now(), "drain", node,
+                    std::to_string(jobs.size()) +
+                        " queued job(s) flushed to peers");
+}
+
+void Cluster::replay_open(int node, SimTime at, bool onto_self) {
+  std::vector<serve::Job> jobs = journal_->take_open(node);
+  if (jobs.empty()) return;
+  membership_flight(at, "replay", node,
+                    std::to_string(jobs.size()) + " journaled job(s) " +
+                        (onto_self ? "recovered locally" :
+                                     "replayed on peers"));
+  for (auto& job : jobs) {
+    GHS_CHECK(meta_.find(job.id) != meta_.end(),
+              "journal replays unrouted job " << job.id);
+    ++replayed_;
+    replay_bytes_ += job.bytes();
+    if (m_replayed_ != nullptr) m_replayed_->inc();
+    if (m_replay_bytes_ != nullptr) m_replay_bytes_->inc(job.bytes());
+    if (onto_self) {
+      // Local WAL recovery on the restarted process: no transfer, the
+      // data never left the node.
+      deliver(std::move(job), node, -1);
+      continue;
+    }
+    const int target = pick_live_target(node);
+    if (target < 0) {
+      finish_reject(job, at);
+      continue;
+    }
+    // Priced from the job's data home when it has one, else from the dead
+    // node — its journal (and the job bytes) survive in NVLink-reachable
+    // LPDDR5X even though the process is gone.
+    const int src = job.source_node >= 0 ? job.source_node : node;
+    deliver(std::move(job), target, src);
+  }
+}
+
+void Cluster::on_membership_transition(const membership::Transition& t) {
+  if (m_transitions_ != nullptr) m_transitions_->inc();
+  if (!m_node_state_.empty()) {
+    m_node_state_[static_cast<std::size_t>(t.node)]->set(
+        static_cast<double>(t.to));
+  }
+  membership_flight(t.at, "transition", t.node,
+                    std::string(membership::node_state_name(t.from)) +
+                        " -> " + membership::node_state_name(t.to) + " (" +
+                        t.reason + ")");
+  if (tracer_ != nullptr) {
+    tracer_->mark(trace::Track::kServer,
+                  "membership node " + std::to_string(t.node) + " " +
+                      membership::node_state_name(t.to),
+                  t.at);
+  }
+  switch (t.to) {
+    case membership::NodeState::kDead:
+      router_.remove_node(t.node);
+      if (crashed_at_[static_cast<std::size_t>(t.node)] >= 0) {
+        detection_ms_.push_back(
+            to_ms(t.at - crashed_at_[static_cast<std::size_t>(t.node)]));
+      }
+      replay_open(t.node, t.at, /*onto_self=*/false);
+      break;
+    case membership::NodeState::kDraining:
+    case membership::NodeState::kLeft:
+      router_.remove_node(t.node);
+      break;
+    case membership::NodeState::kAlive:
+      if (t.from == membership::NodeState::kDead) {
+        router_.add_node(t.node);
+      }
+      break;
+    case membership::NodeState::kSuspect:
+      break;  // still serving; no ring change until declared dead
   }
 }
 
@@ -459,6 +811,31 @@ ClusterReport Cluster::report() const {
   }
   for (const auto& node : nodes_) {
     report.node_reports.push_back(node->report());
+  }
+  if (membership_on_) {
+    report.membership_aware = true;
+    MembershipReport& m = report.membership;
+    m.crashes = crashes_;
+    m.restarts = restarts_;
+    m.drains = drains_;
+    m.drain_flushed = drain_flushed_;
+    m.replayed = replayed_;
+    m.redirected = redirected_;
+    m.duplicate_suppressed = dup_suppressed_;
+    m.replay_gb = static_cast<double>(replay_bytes_) / 1e9;
+    m.detections = static_cast<std::int64_t>(detection_ms_.size());
+    if (!detection_ms_.empty()) {
+      double sum = 0.0;
+      for (const double ms : detection_ms_) {
+        sum += ms;
+        m.detection_max_ms = std::max(m.detection_max_ms, ms);
+      }
+      m.detection_mean_ms = sum / static_cast<double>(detection_ms_.size());
+    }
+    m.transitions = static_cast<std::int64_t>(table_->log().size());
+    for (int i = 0; i < options_.nodes; ++i) {
+      m.final_states.push_back(membership::node_state_name(table_->state(i)));
+    }
   }
   return report;
 }

@@ -20,6 +20,17 @@
 //            fleet: the sick node keeps serving what it must on its CPU
 //            while peers absorb the backlog.
 //
+// The membership layer (opt-in via ClusterOptions::crash_plan / drains /
+// health / enable_membership) extends resilience to whole-node failure:
+// a fault::NodeCrashPlan kills a node's process (devices, queue, in-
+// flight launches) at a scheduled instant; a phi-accrual HealthMonitor
+// detects the silence and drives alive -> suspect -> dead -> rejoined
+// transitions on a membership::Table; a per-node write-ahead JobJournal
+// lets the jobs that died with the node be replayed on surviving peers
+// exactly once (late-landing deliveries find their entry gone and are
+// suppressed as duplicates); and Cluster::drain empties a node gracefully
+// before removing it. See docs/CLUSTERING.md "Failure domains".
+//
 // Every submitted job ends exactly one of three ways at the cluster level
 // — served, rejected, or shed — the invariant the chaos tests pin. Note
 // that per-node reports still count their local view (a spilled job is a
@@ -42,12 +53,24 @@
 
 #include "ghs/cluster/interconnect.hpp"
 #include "ghs/cluster/router.hpp"
+#include "ghs/fault/plan.hpp"
+#include "ghs/membership/health.hpp"
+#include "ghs/membership/journal.hpp"
+#include "ghs/membership/table.hpp"
 #include "ghs/serve/service.hpp"
 #include "ghs/sim/simulator.hpp"
 #include "ghs/slo/monitor.hpp"
 #include "ghs/trace/tracer.hpp"
 
 namespace ghs::cluster {
+
+/// Scheduled graceful drain: at `at`, stop admitting to `node`, flush its
+/// queue to peers, and remove it from the fleet (Cluster::drain run on a
+/// timer).
+struct DrainSpec {
+  int node = 0;
+  SimTime at = 0;
+};
 
 struct ClusterOptions {
   int nodes = 4;
@@ -68,6 +91,21 @@ struct ClusterOptions {
   bool spill = true;
   /// Steal-on-GPU-breaker-open (see header comment).
   bool steal = true;
+  /// Whole-node crash schedule (fault::parse_crash_plan). Any entry turns
+  /// the membership layer on; empty (the default) leaves every code path
+  /// and report byte-identical to a membership-unaware cluster.
+  fault::NodeCrashPlan crash_plan;
+  /// Scheduled graceful drains; any entry turns the membership layer on.
+  std::vector<DrainSpec> drains;
+  /// Phi-accrual failure detector riding the shared simulator. Disabled,
+  /// crashes are detected instantly at the crash event (zero detection
+  /// latency); enabled, detection waits for heartbeats to go quiet and
+  /// restarts rejoin only after the warm-up window.
+  membership::HealthOptions health;
+  /// Forces the membership layer on (table + journal) even with no crash
+  /// plan, drains, or detector — for callers that invoke Cluster::drain
+  /// programmatically (a future autoscaler).
+  bool enable_membership = false;
 };
 
 /// Cluster-level accounting for one served job, wrapping the serving
@@ -84,6 +122,39 @@ struct ClusterRecord {
   bool stolen = false;
 
   SimTime latency() const { return record.completion - original_arrival; }
+};
+
+/// Membership/recovery accounting for one cluster run; serialised (and
+/// populated) only when the membership layer was on, so membership-free
+/// reports stay byte-identical to pre-membership builds.
+struct MembershipReport {
+  /// Node-crash events executed / node processes restarted.
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
+  /// Graceful drains executed / queued jobs flushed to peers by them.
+  std::int64_t drains = 0;
+  std::int64_t drain_flushed = 0;
+  /// Journaled jobs replayed after a death (or recovered from the WAL at
+  /// an undetected restart).
+  std::int64_t replayed = 0;
+  /// In-flight deliveries re-pointed at a live peer because the target
+  /// was already declared dead/draining when they landed.
+  std::int64_t redirected = 0;
+  /// Deliveries dropped because the job's journal entry was already
+  /// replayed elsewhere — the exactly-once proof under replay races.
+  std::int64_t duplicate_suppressed = 0;
+  double replay_gb = 0.0;
+  /// Crash-to-declared-dead latencies (zero-latency with the detector
+  /// off, heartbeat-quantised with it on).
+  std::int64_t detections = 0;
+  double detection_mean_ms = 0.0;
+  double detection_max_ms = 0.0;
+  std::int64_t transitions = 0;
+  /// Final membership state per node ("alive"|"suspect"|"dead"|
+  /// "draining"|"left").
+  std::vector<std::string> final_states;
+
+  void write_json(std::ostream& os) const;
 };
 
 struct ClusterReport {
@@ -115,6 +186,10 @@ struct ClusterReport {
   /// max(routed) / mean(routed); 1 is perfect balance, 0 when idle.
   double imbalance = 0.0;
   std::vector<serve::ServiceReport> node_reports;
+  /// Populated (and serialised, as a trailing "membership" key) only when
+  /// the membership layer ran.
+  bool membership_aware = false;
+  MembershipReport membership;
 
   /// One JSON object, stable key order, deterministic formatting.
   void write_json(std::ostream& os) const;
@@ -160,6 +235,21 @@ class Cluster {
   /// samples. Passthrough mode defers to Monitor::feed semantics.
   void feed_slo(slo::Monitor& monitor) const;
 
+  /// Whether the membership layer (table + journal, optional detector) is
+  /// active for this run.
+  bool membership_enabled() const { return membership_on_; }
+  /// Null when the membership layer is off.
+  const membership::Table* membership_table() const { return table_.get(); }
+  const membership::JobJournal* journal() const { return journal_.get(); }
+
+  /// Graceful drain, the autoscaler primitive: stops admission to `node`,
+  /// flushes its queue to live peers (paying transfers from the drained
+  /// node), and removes it from the ring. In-flight work on the node
+  /// completes lame-duck. Requires the membership layer (see
+  /// ClusterOptions::enable_membership). No-op on nodes already dead,
+  /// draining, or departed.
+  void drain(int node);
+
  private:
   struct JobMeta {
     SimTime original_arrival = 0;
@@ -184,6 +274,22 @@ class Cluster {
   void submit_to(serve::Job job, int target);
   void finish_reject(const serve::Job& job, SimTime at);
   void steal_from(int sick, SimTime at);
+  /// Least-loaded node the membership table still routes to, excluding
+  /// `exclude` (-1 excludes nobody); -1 when no live node remains.
+  int pick_live_target(int exclude) const;
+  void do_crash(int node);
+  void do_restart(int node);
+  void do_drain(int node);
+  /// Replays `node`'s open journal entries: onto live peers after a death
+  /// (onto_self=false, transfers priced from the dead node's memory), or
+  /// back onto the node itself when its process restarts before the
+  /// detector ever declared it dead (onto_self=true — local WAL recovery,
+  /// no transfer).
+  void replay_open(int node, SimTime at, bool onto_self);
+  void on_membership_transition(const membership::Transition& t);
+  void journal_commit(int node, serve::JobId id);
+  void membership_flight(SimTime at, const char* kind, int node,
+                         const std::string& detail);
 
   serve::ServiceModel& model_;
   ClusterOptions options_;
@@ -212,6 +318,25 @@ class Cluster {
   std::int64_t spilled_saved_ = 0;
   std::int64_t steals_ = 0;
   std::int64_t stolen_jobs_ = 0;
+  /// Membership layer; all null/empty when membership_on_ is false, so a
+  /// membership-free run touches none of it.
+  bool membership_on_ = false;
+  std::unique_ptr<membership::Table> table_;
+  std::unique_ptr<membership::JobJournal> journal_;
+  std::unique_ptr<membership::HealthMonitor> monitor_;
+  /// Ground truth per node: is the process up? (The table holds the
+  /// *detected* state, which lags this during detection and warm-up.)
+  std::vector<char> up_;
+  std::vector<SimTime> crashed_at_;
+  std::int64_t crashes_ = 0;
+  std::int64_t restarts_ = 0;
+  std::int64_t drains_ = 0;
+  std::int64_t drain_flushed_ = 0;
+  std::int64_t replayed_ = 0;
+  std::int64_t redirected_ = 0;
+  std::int64_t dup_suppressed_ = 0;
+  std::int64_t replay_bytes_ = 0;
+  std::vector<double> detection_ms_;
   telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::Counter* m_submitted_ = nullptr;
   telemetry::Counter* m_served_ = nullptr;
@@ -222,6 +347,11 @@ class Cluster {
   telemetry::Counter* m_spills_ = nullptr;
   telemetry::Counter* m_steals_ = nullptr;
   telemetry::Histogram* m_latency_ms_ = nullptr;
+  telemetry::Counter* m_replayed_ = nullptr;
+  telemetry::Counter* m_dup_suppressed_ = nullptr;
+  telemetry::Counter* m_replay_bytes_ = nullptr;
+  telemetry::Counter* m_transitions_ = nullptr;
+  std::vector<telemetry::Gauge*> m_node_state_;
 };
 
 }  // namespace ghs::cluster

@@ -12,42 +12,15 @@ namespace ghs::fault {
 
 namespace {
 
-// "2ms" / "150us" / "1.5s" / "400ns" / "7000ps" -> SimTime picoseconds.
+// Line-format wrapper around parse_duration that blames the plan line.
 SimTime parse_time(const std::string& text, int line_no) {
-  std::size_t unit = 0;
-  while (unit < text.size() &&
-         (std::isdigit(static_cast<unsigned char>(text[unit])) != 0 ||
-          text[unit] == '.' || text[unit] == '-')) {
-    ++unit;
-  }
-  double value = 0.0;
-  bool parsed = false;
   try {
-    std::size_t pos = 0;
-    value = std::stod(text.substr(0, unit), &pos);
-    parsed = pos == unit && unit > 0;
-  } catch (const std::exception&) {
-    parsed = false;
+    return parse_duration(text);
+  } catch (const Error& err) {
+    GHS_REQUIRE(false,
+                "fault plan line " << line_no << ": " << err.what());
   }
-  GHS_REQUIRE(parsed && value >= 0.0,
-              "fault plan line " << line_no << ": bad time '" << text << "'");
-  const std::string suffix = text.substr(unit);
-  double per_unit = 0.0;
-  if (suffix == "ps") {
-    per_unit = static_cast<double>(kPicosecond);
-  } else if (suffix == "ns") {
-    per_unit = static_cast<double>(kNanosecond);
-  } else if (suffix == "us") {
-    per_unit = static_cast<double>(kMicrosecond);
-  } else if (suffix == "ms") {
-    per_unit = static_cast<double>(kMillisecond);
-  } else if (suffix == "s") {
-    per_unit = static_cast<double>(kSecond);
-  } else {
-    GHS_REQUIRE(false, "fault plan line " << line_no << ": time '" << text
-                                          << "' needs a ps|ns|us|ms|s unit");
-  }
-  return static_cast<SimTime>(value * per_unit);
+  return 0;
 }
 
 Target parse_target(const std::string& text, int line_no) {
@@ -134,6 +107,93 @@ std::string format_probability(double p) {
 
 const char* target_name(Target target) {
   return target == Target::kGpu ? "gpu" : "cpu";
+}
+
+SimTime parse_duration(const std::string& text) {
+  std::size_t unit = 0;
+  while (unit < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[unit])) != 0 ||
+          text[unit] == '.' || text[unit] == '-')) {
+    ++unit;
+  }
+  double value = 0.0;
+  bool parsed = false;
+  try {
+    std::size_t pos = 0;
+    value = std::stod(text.substr(0, unit), &pos);
+    parsed = pos == unit && unit > 0;
+  } catch (const std::exception&) {
+    parsed = false;
+  }
+  GHS_REQUIRE(parsed && value >= 0.0, "bad time '" << text << "'");
+  const std::string suffix = text.substr(unit);
+  double per_unit = 0.0;
+  if (suffix == "ps") {
+    per_unit = static_cast<double>(kPicosecond);
+  } else if (suffix == "ns") {
+    per_unit = static_cast<double>(kNanosecond);
+  } else if (suffix == "us") {
+    per_unit = static_cast<double>(kMicrosecond);
+  } else if (suffix == "ms") {
+    per_unit = static_cast<double>(kMillisecond);
+  } else if (suffix == "s") {
+    per_unit = static_cast<double>(kSecond);
+  } else {
+    GHS_REQUIRE(false,
+                "time '" << text << "' needs a ps|ns|us|ms|s unit");
+  }
+  return static_cast<SimTime>(value * per_unit);
+}
+
+NodeCrashPlan parse_crash_plan(const std::string& text) {
+  NodeCrashPlan plan;
+  // Entries split on commas and whitespace interchangeably so both the
+  // compact CLI form "1@300us:2ms,2@1ms" and a spaced file form work.
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ',') c = ' ';
+  }
+  std::istringstream words(normalized);
+  std::string entry;
+  while (words >> entry) {
+    const auto at_sep = entry.find('@');
+    GHS_REQUIRE(at_sep != std::string::npos && at_sep > 0,
+                "crash spec '" << entry << "': expected node@at[:restart]");
+    NodeCrash crash;
+    try {
+      std::size_t pos = 0;
+      crash.node = std::stoi(entry.substr(0, at_sep), &pos);
+      GHS_REQUIRE(pos == at_sep,
+                  "crash spec '" << entry << "': bad node index");
+    } catch (const std::exception&) {
+      GHS_REQUIRE(false, "crash spec '" << entry << "': bad node index");
+    }
+    GHS_REQUIRE(crash.node >= 0,
+                "crash spec '" << entry << "': node must be >= 0");
+    std::string times = entry.substr(at_sep + 1);
+    const auto restart_sep = times.find(':');
+    if (restart_sep != std::string::npos) {
+      crash.restart_at = parse_duration(times.substr(restart_sep + 1));
+      times = times.substr(0, restart_sep);
+    }
+    crash.at = parse_duration(times);
+    GHS_REQUIRE(crash.restart_at == 0 || crash.restart_at > crash.at,
+                "crash spec '" << entry
+                               << "': restart must come after the crash");
+    plan.crashes.push_back(crash);
+  }
+  return plan;
+}
+
+std::string format_crash_plan(const NodeCrashPlan& plan) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    const NodeCrash& crash = plan.crashes[i];
+    if (i > 0) out << ",";
+    out << crash.node << "@" << crash.at << "ps";
+    if (crash.restart_at > 0) out << ":" << crash.restart_at << "ps";
+  }
+  return out.str();
 }
 
 FaultPlan parse_plan(const std::string& text) {

@@ -98,6 +98,41 @@ struct FaultPlan {
   }
 };
 
+/// Whole-node failure: at `at` the node's devices and queued work vanish;
+/// a non-zero `restart_at` brings the node back (empty queue, cold state)
+/// after the operator's warm-up window. Interpreted by cluster::Cluster —
+/// a standalone service has no peers to recover onto.
+struct NodeCrash {
+  int node = 0;
+  SimTime at = 0;
+  SimTime restart_at = 0;  // 0 = never restarts
+};
+
+/// Schedule of node crashes for a fleet run. Like FaultPlan this is pure
+/// data; the inline spec format is `node@at[:restart_at]`, comma or
+/// whitespace separated, e.g. "1@300us:2ms,2@1ms".
+struct NodeCrashPlan {
+  std::vector<NodeCrash> crashes;
+
+  bool empty() const { return crashes.empty(); }
+  std::size_t size() const { return crashes.size(); }
+};
+
+/// Parses "2ms" / "150us" / "1.5s" / "400ns" / "7000ps" into picoseconds;
+/// throws ghs::Error on malformed input. This is the time grammar every
+/// plan format shares.
+SimTime parse_duration(const std::string& text);
+
+/// Parses the inline crash spec documented on NodeCrashPlan; throws
+/// ghs::Error on malformed entries, negative nodes, or a restart that does
+/// not come after its crash. Node indices are validated against the fleet
+/// size by the consumer (the parser cannot know it).
+NodeCrashPlan parse_crash_plan(const std::string& text);
+
+/// Renders the crash plan back into the inline spec (picosecond times, so
+/// it round-trips through parse_crash_plan exactly).
+std::string format_crash_plan(const NodeCrashPlan& plan);
+
 /// Parses the line format documented above; throws ghs::Error with the
 /// offending line number on malformed input.
 FaultPlan parse_plan(const std::string& text);

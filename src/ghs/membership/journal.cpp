@@ -1,0 +1,63 @@
+#include "ghs/membership/journal.hpp"
+
+#include <algorithm>
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::membership {
+
+JobJournal::JobJournal(int nodes) {
+  GHS_REQUIRE(nodes >= 1, "job journal needs >= 1 node, got " << nodes);
+  open_.resize(static_cast<std::size_t>(nodes));
+}
+
+std::size_t JobJournal::checked(int node) const {
+  GHS_REQUIRE(node >= 0 && node < static_cast<int>(open_.size()),
+              "journal node " << node << " out of range [0, " << open_.size()
+                              << ")");
+  return static_cast<std::size_t>(node);
+}
+
+void JobJournal::append(int node, const serve::Job& job) {
+  auto& entries = open_[checked(node)];
+  const auto [it, inserted] =
+      entries.emplace(job.id, Entry{job, next_seq_++});
+  GHS_CHECK(inserted, "job " << job.id << " already open on node " << node);
+  (void)it;
+  ++appended_;
+}
+
+bool JobJournal::commit(int node, serve::JobId id) {
+  auto& entries = open_[checked(node)];
+  const auto it = entries.find(id);
+  if (it == entries.end()) return false;
+  entries.erase(it);
+  ++committed_;
+  return true;
+}
+
+bool JobJournal::is_open(int node, serve::JobId id) const {
+  const auto& entries = open_[checked(node)];
+  return entries.find(id) != entries.end();
+}
+
+std::vector<serve::Job> JobJournal::take_open(int node) {
+  auto& entries = open_[checked(node)];
+  std::vector<Entry> taken;
+  taken.reserve(entries.size());
+  for (auto& [id, entry] : entries) taken.push_back(std::move(entry));
+  entries.clear();
+  std::sort(taken.begin(), taken.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::vector<serve::Job> jobs;
+  jobs.reserve(taken.size());
+  for (auto& entry : taken) jobs.push_back(std::move(entry.job));
+  committed_ += static_cast<std::int64_t>(jobs.size());
+  return jobs;
+}
+
+std::int64_t JobJournal::open_count(int node) const {
+  return static_cast<std::int64_t>(open_[checked(node)].size());
+}
+
+}  // namespace ghs::membership

@@ -1,0 +1,63 @@
+// Per-node write-ahead job journal: the replay log that extends the
+// cluster's zero-lost-jobs invariant across whole-node crashes.
+//
+// The cluster appends a job to the target node's journal at the moment it
+// decides to deliver there (before the interconnect transfer, mirroring a
+// write-ahead log that is durable before the work ships) and commits the
+// entry when the job reaches a terminal outcome on that node — served,
+// rejected, shed — or leaves it for another node (spill, steal, drain,
+// redirect). When a node is declared dead the open entries are exactly
+// the jobs in flight there: the cluster takes them, in append order, and
+// replays each on a surviving peer. A delivery that was already in flight
+// over the interconnect when the replay fired lands later, finds its
+// entry gone, and is dropped as a duplicate — that check is what makes
+// replay exactly-once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ghs/serve/job.hpp"
+
+namespace ghs::membership {
+
+class JobJournal {
+ public:
+  explicit JobJournal(int nodes);
+
+  /// Records that `job` is now in flight on `node`. A job id may be open
+  /// on at most one node at a time.
+  void append(int node, const serve::Job& job);
+
+  /// Closes the entry for `id` on `node`; returns false when no such
+  /// entry is open (the caller may be double-committing a replayed job).
+  bool commit(int node, serve::JobId id);
+
+  bool is_open(int node, serve::JobId id) const;
+
+  /// Removes and returns every open entry on `node`, in append order —
+  /// the jobs a dead node takes with it, ready for replay.
+  std::vector<serve::Job> take_open(int node);
+
+  std::int64_t open_count(int node) const;
+  std::int64_t appended() const { return appended_; }
+  std::int64_t committed() const { return committed_; }
+
+ private:
+  struct Entry {
+    serve::Job job;
+    std::int64_t seq = 0;  // append order, for deterministic replay
+  };
+
+  std::size_t checked(int node) const;
+
+  // std::map keeps per-node iteration ordered by job id, but replay order
+  // is by append seq (below) so requeued retries keep their place.
+  std::vector<std::map<serve::JobId, Entry>> open_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t appended_ = 0;
+  std::int64_t committed_ = 0;
+};
+
+}  // namespace ghs::membership

@@ -1,0 +1,45 @@
+#include "ghs/membership/table.hpp"
+
+#include "ghs/util/error.hpp"
+
+namespace ghs::membership {
+
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kAlive:
+      return "alive";
+    case NodeState::kSuspect:
+      return "suspect";
+    case NodeState::kDead:
+      return "dead";
+    case NodeState::kDraining:
+      return "draining";
+    case NodeState::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+Table::Table(int nodes) {
+  GHS_REQUIRE(nodes >= 1, "membership table needs >= 1 node, got " << nodes);
+  states_.assign(static_cast<std::size_t>(nodes), NodeState::kAlive);
+}
+
+int Table::checked(int node) const {
+  GHS_REQUIRE(node >= 0 && node < nodes(),
+              "membership node " << node << " out of range [0, " << nodes()
+                                 << ")");
+  return node;
+}
+
+void Table::transition(int node, NodeState to, SimTime at,
+                       std::string reason) {
+  const int i = checked(node);
+  const NodeState from = states_[static_cast<std::size_t>(i)];
+  if (from == to) return;
+  states_[static_cast<std::size_t>(i)] = to;
+  log_.push_back(Transition{i, from, to, at, std::move(reason)});
+  if (on_transition_) on_transition_(log_.back());
+}
+
+}  // namespace ghs::membership

@@ -116,6 +116,9 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
       retry_rng_(options.retry.jitter_seed) {
   GHS_REQUIRE(policy_ != nullptr, "null policy");
   GHS_REQUIRE(options_.retry.max_attempts >= 1, "max_attempts must be >= 1");
+  for (const auto& [key, value] : options_.instance_labels) {
+    flight_label_ += key + "=" + value + " ";
+  }
   const telemetry::Sink& sink = options_.telemetry;
   flight_ = sink.flight;
   if (sink.metrics != nullptr) {
@@ -269,6 +272,35 @@ std::vector<Job> ReductionService::steal_queued(std::size_t max_jobs) {
   return stolen;
 }
 
+void ReductionService::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;
+  // The queued jobs die with the process; their write-ahead journal
+  // entries (owned by the composing cluster) are the only copies left.
+  std::size_t dropped = 0;
+  while (!queue_.empty()) {
+    queue_.take(queue_.size() - 1);
+    ++dropped;
+  }
+  update_queue_gauge();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "serve", "crash",
+                    flight_label_ + "node process died, " +
+                        std::to_string(dropped) + " queued job(s) lost");
+  }
+}
+
+void ReductionService::restore() {
+  if (alive_) return;
+  alive_ = true;
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now(), "serve", "restart",
+                    flight_label_ + "node process restarted (cold queue)");
+  }
+  dispatch_all();
+}
+
 void ReductionService::run() { sim_.run(); }
 
 void ReductionService::on_arrival(Job job) {
@@ -282,7 +314,10 @@ void ReductionService::on_arrival(Job job) {
                              tracer_->new_span_id(), 0};
   }
   job.enqueued = sim_.now();
-  if (!queue_.push(job)) {
+  // A dead node refuses every arrival through the normal rejection path:
+  // the composing cluster sees the bounce via on_reject and re-routes,
+  // which is exactly the pre-detection cost a crashed node imposes.
+  if (!alive_ || !queue_.push(job)) {
     rejected_.push_back(job);
     rejected_at_.push_back(sim_.now());
     if (m_rejected_ != nullptr) m_rejected_->inc();
@@ -328,6 +363,7 @@ void ReductionService::dispatch_all() {
 }
 
 void ReductionService::dispatch(Placement device) {
+  if (!alive_) return;
   while (pool_.idle(device) && !queue_.empty()) {
     if (injector_ != nullptr) {
       fault::CircuitBreaker& breaker = breaker_ref(device);
@@ -405,9 +441,14 @@ void ReductionService::dispatch(Placement device) {
                                           ? policy_->geometry(batch.front())
                                           : core::ReduceTuning{};
     update_queue_gauge();
+    // The completion closure belongs to this incarnation: if the node
+    // crashes before the launch lands, the stale result is discarded (the
+    // jobs are replayed elsewhere by the cluster's journal). dispatch_all
+    // still runs so a restarted node reclaims the device the moment the
+    // stale completion frees it.
     pool_.launch(device, std::move(batch), tuning,
-                 [this](const LaunchResult& result) {
-                   on_launch_complete(result);
+                 [this, epoch = epoch_](const LaunchResult& result) {
+                   if (epoch == epoch_) on_launch_complete(result);
                    dispatch_all();
                  });
   }
@@ -510,7 +551,10 @@ void ReductionService::handle_failed_job(const Job& job) {
                     again.ctx.child(tracer_->new_span_id()));
   }
   again.enqueued = retry_at;
-  sim_.schedule_at(retry_at, [this, again]() {
+  sim_.schedule_at(retry_at, [this, again, epoch = epoch_]() {
+    // A crash between the failure and the requeue voids the retry: the
+    // job's journal entry is replayed on a peer instead.
+    if (epoch != epoch_) return;
     if (!queue_.push(again)) {
       shed_job(again, "requeue refused (queue full)");
       return;
@@ -555,8 +599,11 @@ void ReductionService::on_breaker_transition(Placement device,
     m_breaker_state_[idx]->set(static_cast<double>(to));
   }
   if (flight_ != nullptr) {
+    // Instance labels (node=N in a fleet) make the transition attributable
+    // without a trace; standalone services have no labels, so their
+    // recorded bytes are unchanged.
     flight_->record(at, "serve", "breaker",
-                    std::string(placement_name(device)) + " " +
+                    flight_label_ + placement_name(device) + " " +
                         fault::breaker_state_name(from) + " -> " +
                         fault::breaker_state_name(to));
   }

@@ -192,6 +192,19 @@ class ReductionService {
   /// queue gauge is updated; nothing is dispatched.
   std::vector<Job> steal_queued(std::size_t max_jobs);
 
+  /// Whole-node failure hooks for the cluster's membership layer. crash()
+  /// kills the node process: the admission queue is emptied (the composing
+  /// layer's write-ahead journal owns those jobs now), arrivals are
+  /// refused through the normal rejection path, and every launch
+  /// completion or retry requeue belonging to the old incarnation is
+  /// discarded via an epoch check — a launch in flight at the crash dies
+  /// with the node instead of completing after it. restore() brings the
+  /// process back with a cold empty queue. Standalone services never
+  /// crash, so these change nothing for existing runs.
+  void crash();
+  void restore();
+  bool alive() const { return alive_; }
+
   /// Drains the event queue: runs arrivals, scheduling, and service to
   /// completion.
   void run();
@@ -277,6 +290,16 @@ class ReductionService {
   std::int64_t submitted_ = 0;
   std::int64_t retries_ = 0;
   std::int64_t fallback_cpu_jobs_ = 0;
+  /// Node-process liveness (cluster crash plans); standalone services stay
+  /// alive for their whole run.
+  bool alive_ = true;
+  /// Incarnation counter, bumped by crash(). Completion and retry
+  /// closures capture the epoch they were scheduled under and self-
+  /// discard when it no longer matches.
+  std::int64_t epoch_ = 0;
+  /// "k=v " rendering of instance_labels, prefixed to flight-recorder
+  /// details so fleet post-mortems name the node; empty standalone.
+  std::string flight_label_;
   SimTime gpu_wake_ = -1;
   SimTime cpu_wake_ = -1;
   telemetry::FlightRecorder* flight_ = nullptr;

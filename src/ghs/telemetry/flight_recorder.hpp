@@ -14,6 +14,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ghs/util/units.hpp"
@@ -69,6 +70,23 @@ inline void record_event(FlightRecorder* recorder, SimTime at,
   if (recorder != nullptr) {
     recorder->record(at, layer, kind, std::move(detail));
   }
+}
+
+/// Null-safe structured variant: prefixes "k=v " label pairs to the
+/// detail, the convention fleet post-mortems grep on (breaker and
+/// membership transitions carry a node label and the sim timestamp).
+inline void record_labeled_event(
+    FlightRecorder* recorder, SimTime at, const char* layer,
+    const char* kind,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& detail) {
+  if (recorder == nullptr) return;
+  std::string prefixed;
+  for (const auto& [key, value] : labels) {
+    prefixed += key + "=" + value + " ";
+  }
+  prefixed += detail;
+  recorder->record(at, layer, kind, std::move(prefixed));
 }
 
 }  // namespace ghs::telemetry

@@ -140,6 +140,10 @@ std::vector<trace::CounterTrack> counter_tracks(const Tsdb& store,
       scale = 1.0 / (1024.0 * 1024.0);
     } else if (starts_with(key, "ghs_serve_breaker_state")) {
       name = "breaker state";
+    } else if (starts_with(key, "ghs_membership_node_state")) {
+      // 0 alive, 1 suspect, 2 dead, 3 draining, 4 left — a step function
+      // that makes crash/detect/rejoin windows visible on the timeline.
+      name = "membership state";
     } else {
       return;
     }

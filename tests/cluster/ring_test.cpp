@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "ghs/cluster/ring.hpp"
 #include "ghs/util/error.hpp"
+#include "ghs/util/rng.hpp"
 
 namespace ghs::cluster {
 namespace {
@@ -116,6 +118,56 @@ TEST(HashRing, AddRemoveRoundTripRestoresPlacement) {
   ring.add_node(6);
   ring.remove_node(6);
   EXPECT_EQ(before, owners(ring));
+}
+
+TEST(HashRing, ChurnPropertyInterleavedAddRemoveStaysConsistent) {
+  // Membership churn (crashes, rejoins, drains) is an arbitrary interleave
+  // of add_node/remove_node. Property: after every step, no key routes to
+  // a departed node, and the remap from the previous step is exactly the
+  // consistent-hashing minimum — removals move only the departed node's
+  // keys, additions move keys only toward the newcomer, and never more
+  // than a loose multiple of the 1/N fair share.
+  Rng rng(2026);
+  HashRing ring(64);
+  std::set<int> members;
+  constexpr int kPool = 12;
+  for (int n = 0; n < 4; ++n) {
+    ring.add_node(n);
+    members.insert(n);
+  }
+  std::vector<int> before = owners(ring);
+  for (int step = 0; step < 200; ++step) {
+    const int node = static_cast<int>(rng.next_below(kPool));
+    const bool removing = members.count(node) > 0 && members.size() > 1;
+    if (removing) {
+      ring.remove_node(node);
+      members.erase(node);
+    } else if (members.count(node) == 0) {
+      ring.add_node(node);
+      members.insert(node);
+    } else {
+      continue;  // sole member: removal would empty the ring
+    }
+    const std::vector<int> after = owners(ring);
+    std::uint64_t moved = 0;
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+      ASSERT_TRUE(members.count(after[key]) > 0)
+          << "step " << step << " key " << key << " routed to departed node "
+          << after[key];
+      if (before[key] == after[key]) continue;
+      ++moved;
+      if (removing) {
+        ASSERT_EQ(before[key], node) << "step " << step << " key " << key;
+      } else {
+        ASSERT_EQ(after[key], node) << "step " << step << " key " << key;
+      }
+    }
+    // ~1/N of the key space belongs to the churned node; allow 3x for
+    // virtual-node variance at small N.
+    ASSERT_LT(moved, kKeys * 3 / members.size())
+        << "step " << step << " moved " << moved << " of " << kKeys;
+    before = after;
+  }
 }
 
 TEST(HashRing, EmptyRingThrows) {

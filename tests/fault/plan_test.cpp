@@ -81,6 +81,48 @@ TEST(FaultPlanTest, FormatRoundTripsThroughParse) {
   EXPECT_EQ(reparsed.outages[0].window.begin, plan.outages[0].window.begin);
 }
 
+TEST(NodeCrashPlanTest, ParsesCrashAndRestartEntries) {
+  const auto plan = parse_crash_plan("1@300us:2ms, 2@1ms\n3@500ns");
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.crashes[0].node, 1);
+  EXPECT_EQ(plan.crashes[0].at, 300 * kMicrosecond);
+  EXPECT_EQ(plan.crashes[0].restart_at, 2 * kMillisecond);
+  EXPECT_EQ(plan.crashes[1].node, 2);
+  EXPECT_EQ(plan.crashes[1].restart_at, 0);  // never restarts
+  EXPECT_EQ(plan.crashes[2].at, 500 * kNanosecond);
+  EXPECT_TRUE(parse_crash_plan("").empty());
+  EXPECT_TRUE(parse_crash_plan("  \n ,").empty());
+}
+
+TEST(NodeCrashPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_crash_plan("bogus"), Error);
+  EXPECT_THROW(parse_crash_plan("1"), Error);           // no time
+  EXPECT_THROW(parse_crash_plan("@300us"), Error);      // no node
+  EXPECT_THROW(parse_crash_plan("-1@300us"), Error);    // negative node
+  EXPECT_THROW(parse_crash_plan("1@300us:100us"), Error);  // restart <= at
+  EXPECT_THROW(parse_crash_plan("1@300usx"), Error);    // trailing junk
+}
+
+TEST(NodeCrashPlanTest, FormatRoundTripsThroughParse) {
+  const auto plan = parse_crash_plan("1@300us:2ms,0@1ms");
+  const auto reparsed = parse_crash_plan(format_crash_plan(plan));
+  EXPECT_EQ(format_crash_plan(reparsed), format_crash_plan(plan));
+  ASSERT_EQ(reparsed.size(), plan.size());
+  EXPECT_EQ(reparsed.crashes[0].restart_at, plan.crashes[0].restart_at);
+}
+
+TEST(ParseDurationTest, CoversAllUnitsAndRejectsJunk) {
+  EXPECT_EQ(parse_duration("250ps"), 250);
+  EXPECT_EQ(parse_duration("3ns"), 3 * kNanosecond);
+  EXPECT_EQ(parse_duration("40us"), 40 * kMicrosecond);
+  EXPECT_EQ(parse_duration("7ms"), 7 * kMillisecond);
+  EXPECT_EQ(parse_duration("2s"), 2 * kSecond);
+  EXPECT_THROW(parse_duration(""), Error);
+  EXPECT_THROW(parse_duration("10"), Error);    // unit required
+  EXPECT_THROW(parse_duration("ms"), Error);    // value required
+  EXPECT_THROW(parse_duration("-1us"), Error);  // negative
+}
+
 TEST(FaultPlanTest, WindowSemantics) {
   Window window{10, 20};
   EXPECT_TRUE(window.contains(10));

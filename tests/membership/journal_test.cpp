@@ -1,0 +1,67 @@
+// Job journal: write-ahead append/commit bookkeeping and the exactly-once
+// primitives (take_open in append order, is_open for dup detection).
+#include <gtest/gtest.h>
+
+#include "ghs/membership/journal.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::membership {
+namespace {
+
+serve::Job job_with_id(serve::JobId id) {
+  serve::Job job;
+  job.id = id;
+  job.elements = 1 << 14;
+  return job;
+}
+
+TEST(JobJournal, AppendCommitLifecycle) {
+  JobJournal journal(2);
+  journal.append(0, job_with_id(7));
+  EXPECT_TRUE(journal.is_open(0, 7));
+  EXPECT_FALSE(journal.is_open(1, 7));
+  EXPECT_EQ(journal.open_count(0), 1);
+  EXPECT_TRUE(journal.commit(0, 7));
+  EXPECT_FALSE(journal.is_open(0, 7));
+  EXPECT_EQ(journal.open_count(0), 0);
+  // Second commit finds nothing: the caller uses this to spot dups.
+  EXPECT_FALSE(journal.commit(0, 7));
+  EXPECT_EQ(journal.appended(), 1);
+  EXPECT_EQ(journal.committed(), 1);
+}
+
+TEST(JobJournal, TakeOpenReturnsAppendOrderNotIdOrder) {
+  JobJournal journal(1);
+  // Append out of id order: a retried job re-queued late must replay in
+  // the order the node accepted it, not sorted by id.
+  journal.append(0, job_with_id(30));
+  journal.append(0, job_with_id(10));
+  journal.append(0, job_with_id(20));
+  const auto jobs = journal.take_open(0);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].id, 30);
+  EXPECT_EQ(jobs[1].id, 10);
+  EXPECT_EQ(jobs[2].id, 20);
+  EXPECT_EQ(journal.open_count(0), 0);
+  EXPECT_EQ(journal.committed(), 3);
+}
+
+TEST(JobJournal, AJobIsOpenOnAtMostOneNode) {
+  JobJournal journal(2);
+  journal.append(0, job_with_id(5));
+  EXPECT_THROW(journal.append(0, job_with_id(5)), Error);
+  // Moving a job between nodes is commit-then-append.
+  EXPECT_TRUE(journal.commit(0, 5));
+  journal.append(1, job_with_id(5));
+  EXPECT_TRUE(journal.is_open(1, 5));
+}
+
+TEST(JobJournal, RejectsBadNodes) {
+  EXPECT_THROW(JobJournal(0), Error);
+  JobJournal journal(2);
+  EXPECT_THROW(journal.append(2, job_with_id(1)), Error);
+  EXPECT_THROW(journal.open_count(-1), Error);
+}
+
+}  // namespace
+}  // namespace ghs::membership

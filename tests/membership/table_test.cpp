@@ -1,0 +1,81 @@
+// Membership table: state storage, transition log, callback fan-out, and
+// the serving() routability predicate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ghs/membership/table.hpp"
+#include "ghs/util/error.hpp"
+
+namespace ghs::membership {
+namespace {
+
+TEST(Table, StartsAllAlive) {
+  Table table(3);
+  EXPECT_EQ(table.nodes(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(table.state(i), NodeState::kAlive);
+    EXPECT_TRUE(table.serving(i));
+  }
+  EXPECT_TRUE(table.log().empty());
+}
+
+TEST(Table, TransitionRecordsAndNotifies) {
+  Table table(2);
+  std::vector<Transition> seen;
+  table.set_on_transition([&](const Transition& t) { seen.push_back(t); });
+  table.transition(1, NodeState::kSuspect, 100, "phi=1.20");
+  table.transition(1, NodeState::kDead, 250, "phi=3.01");
+  ASSERT_EQ(table.log().size(), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].node, 1);
+  EXPECT_EQ(seen[0].from, NodeState::kAlive);
+  EXPECT_EQ(seen[0].to, NodeState::kSuspect);
+  EXPECT_EQ(seen[0].at, 100);
+  EXPECT_EQ(seen[0].reason, "phi=1.20");
+  EXPECT_EQ(seen[1].from, NodeState::kSuspect);
+  EXPECT_EQ(seen[1].to, NodeState::kDead);
+  EXPECT_EQ(table.state(1), NodeState::kDead);
+  EXPECT_EQ(table.state(0), NodeState::kAlive);
+}
+
+TEST(Table, SelfTransitionIsANoOp) {
+  Table table(1);
+  int calls = 0;
+  table.set_on_transition([&](const Transition&) { ++calls; });
+  table.transition(0, NodeState::kAlive, 50, "still alive");
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(table.log().empty());
+}
+
+TEST(Table, ServingCoversAliveAndSuspectOnly) {
+  Table table(5);
+  table.transition(1, NodeState::kSuspect, 1, "");
+  table.transition(2, NodeState::kDead, 2, "");
+  table.transition(3, NodeState::kDraining, 3, "");
+  table.transition(4, NodeState::kLeft, 4, "");
+  EXPECT_TRUE(table.serving(0));
+  EXPECT_TRUE(table.serving(1));   // suspect still routable
+  EXPECT_FALSE(table.serving(2));  // dead
+  EXPECT_FALSE(table.serving(3));  // draining
+  EXPECT_FALSE(table.serving(4));  // departed
+}
+
+TEST(Table, StateNamesAreStable) {
+  EXPECT_STREQ(node_state_name(NodeState::kAlive), "alive");
+  EXPECT_STREQ(node_state_name(NodeState::kSuspect), "suspect");
+  EXPECT_STREQ(node_state_name(NodeState::kDead), "dead");
+  EXPECT_STREQ(node_state_name(NodeState::kDraining), "draining");
+  EXPECT_STREQ(node_state_name(NodeState::kLeft), "left");
+}
+
+TEST(Table, RejectsBadNodes) {
+  EXPECT_THROW(Table(0), Error);
+  Table table(2);
+  EXPECT_THROW(table.state(-1), Error);
+  EXPECT_THROW(table.state(2), Error);
+  EXPECT_THROW(table.transition(7, NodeState::kDead, 0, ""), Error);
+}
+
+}  // namespace
+}  // namespace ghs::membership
