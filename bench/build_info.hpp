@@ -1,0 +1,63 @@
+// Shared "build_info" section for loadgen JSON reports.
+//
+// Every top-level loadgen report opens with a build_info object recording
+// the report schema version and how the binary was built (compiler,
+// build type, sanitizers). scripts/metrics_diff.py refuses to diff
+// reports whose schemas differ, so a report produced by an older binary
+// can't be silently compared against a newer, shape-incompatible one.
+//
+// The section is a pure function of the binary (no timestamps, no
+// hostnames), so same-binary same-seed reports stay byte-identical.
+// Metrics snapshots, series dumps, and traces deliberately do NOT carry
+// build_info: those artefacts are diffed byte-for-byte across binaries
+// by scripts/check.sh.
+#pragma once
+
+#include <ostream>
+
+namespace ghs::bench {
+
+/// Report schema version. Bump when a loadgen report's shape changes
+/// incompatibly; metrics_diff.py exits 2 on a mismatch.
+inline constexpr const char* kReportSchema = "ghs-report-v2";
+
+/// Writes `"build_info":{...}` (no surrounding braces/comma). Callers
+/// emit it as the first key of the top-level report object.
+inline void write_build_info(std::ostream& os) {
+  os << "\"build_info\":{\"schema\":\"" << kReportSchema << "\"";
+  os << ",\"compiler\":\""
+#if defined(__clang__)
+     << "clang\",\"compiler_version\":\"" << __clang_major__ << "."
+     << __clang_minor__ << "." << __clang_patchlevel__ << "\"";
+#elif defined(__GNUC__)
+     << "gcc\",\"compiler_version\":\"" << __GNUC__ << "." << __GNUC_MINOR__
+     << "." << __GNUC_PATCHLEVEL__ << "\"";
+#else
+     << "unknown\",\"compiler_version\":\"unknown\"";
+#endif
+  os << ",\"build_type\":\""
+#if defined(NDEBUG)
+     << "release"
+#else
+     << "debug"
+#endif
+     << "\"";
+  // GHS_SANITIZE_BUILD comes from the cmake GHS_SANITIZE option; UBSan
+  // has no feature-test macro, so the cmake-level definition is the only
+  // reliable signal for the combined asan+ubsan config this repo builds.
+  os << ",\"sanitizer\":\""
+#if defined(GHS_SANITIZE_BUILD) || defined(__SANITIZE_ADDRESS__)
+     << "asan+ubsan"
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+     << "asan+ubsan"
+#else
+     << "none"
+#endif
+#else
+     << "none"
+#endif
+     << "\"}";
+}
+
+}  // namespace ghs::bench

@@ -27,6 +27,8 @@
 
 #include "ghs/fault/injector.hpp"
 #include "ghs/fault/plan.hpp"
+#include "ghs/profile/profiler.hpp"
+#include "ghs/profile/recorder.hpp"
 #include "ghs/serve/loadgen.hpp"
 #include "ghs/serve/policy.hpp"
 #include "ghs/serve/service.hpp"
@@ -37,6 +39,8 @@
 #include "ghs/trace/chrome_exporter.hpp"
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
+#include "build_info.hpp"
+#include "profile.hpp"
 #include "scrape.hpp"
 #include "serve_perf.hpp"
 
@@ -69,6 +73,9 @@ struct RunSettings {
   std::vector<slo::Objective> slo_objectives;
   /// Sim-time metrics scraping (off unless --scrape-interval was given).
   bench::ScrapeSettings scrape;
+  /// Sim-time profiling / cost attribution (off unless a --profile-* or
+  /// --cost-report flag was given, keeping artefacts byte-identical).
+  bench::ProfileSettings profile;
 };
 
 serve::ServiceReport run_policy(const std::string& name,
@@ -78,6 +85,7 @@ serve::ServiceReport run_policy(const std::string& name,
                                 const RunSettings& settings,
                                 std::string* slo_json,
                                 std::string* timeline_json,
+                                std::string* cost_json,
                                 bench::PerfSample* perf) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
@@ -87,8 +95,16 @@ serve::ServiceReport run_policy(const std::string& name,
   // (plan, seed) for every policy, so reports are comparable and two
   // invocations of this bench are byte-identical.
   fault::Injector injector(plan, fault_seed, settings.service.telemetry);
+  const bool profiling = settings.profile.enabled();
+  // Declared before the service so the pool's recorder pointer stays
+  // valid through the service's destructor.
+  std::optional<profile::Recorder> recorder;
   serve::ServiceOptions options = settings.service;
   options.injector = &injector;
+  if (profiling) {
+    recorder.emplace();
+    options.profile = &*recorder;
+  }
   serve::ReductionService service(serve::make_policy(name, model), model,
                                   options, tracing ? &tracer : nullptr);
   const bool scraping = settings.scrape.enabled();
@@ -101,6 +117,13 @@ serve::ServiceReport run_policy(const std::string& name,
                     scraper_options);
     scraper->start();
   }
+  std::optional<profile::Profiler> profiler;
+  if (settings.profile.sampling()) {
+    profile::ProfilerOptions profiler_options;
+    profiler_options.interval = settings.profile.interval;
+    profiler.emplace(service.sim(), *recorder, profiler_options, &store);
+    profiler->start();
+  }
   const bench::WallTimer timer;
   if (settings.closed) {
     serve::run_closed_loop(service, settings.closed_opts);
@@ -109,6 +132,15 @@ serve::ServiceReport run_policy(const std::string& name,
     service.run();
   }
   if (scraping) scraper->finish();
+  if (profiler) profiler->finish();
+  if (profiling) {
+    // Even under chaos — failed launches, retries, CPU fallback — the
+    // attributed time/bytes must reconcile with the pool's own totals.
+    const auto check =
+        recorder->ledger().check(service.conservation_totals());
+    GHS_REQUIRE(check.ok(),
+                "cost attribution leaked on policy '" << name << "'");
+  }
   if (perf != nullptr) {
     perf->policy = name;
     perf->queue = service.sim().queue_kind();
@@ -134,7 +166,19 @@ serve::ServiceReport run_policy(const std::string& name,
     if (scraping) {
       bench::add_counter_tracks(exporter, store, settings.scrape.interval);
     }
+    if (profiler) bench::add_profile_tracks(exporter, *profiler);
     exporter.write(out);
+  }
+  if (profiler) {
+    // Like the trace, the last policy run wins the collapsed-stack file.
+    bench::write_profile_file("chaos_loadgen", settings.profile, *profiler);
+  }
+  if (settings.profile.cost_report && cost_json != nullptr) {
+    std::ostringstream cost_os;
+    recorder->ledger().write_json(cost_os, service.conservation_totals());
+    *cost_json = cost_os.str();
+    std::cerr << "[" << name << "] ";
+    recorder->ledger().write_table(std::cerr, /*top_k=*/5);
   }
   if (scraping) {
     // Like the trace, the last policy run wins the series file.
@@ -251,13 +295,27 @@ int main(int argc, char** argv) {
   const auto* series_out = cli.add_string(
       "series-out", "",
       "write the scraped time-series dump here (.csv for CSV)");
+  const auto* profile_interval = cli.add_int(
+      "profile-interval", 0,
+      "sim-time profiler sample interval, microseconds (0 = off)");
+  const auto* profile_out = cli.add_string(
+      "profile-out", "",
+      "write collapsed stacks here (flamegraph.pl-compatible)");
+  const auto* cost_report = cli.add_flag(
+      "cost-report",
+      "append per-tenant cost attribution to the report (+ stderr table)");
   cli.parse_or_exit(argc, argv);
 
   const auto scrape = bench::scrape_settings_or_exit(
       "chaos_loadgen", *scrape_interval, *series_out);
+  const auto profile = bench::profile_settings_or_exit(
+      "chaos_loadgen", *profile_interval, *profile_out, *cost_report);
   bench::require_positive("chaos_loadgen", "--jobs", *jobs);
   bench::require_positive("chaos_loadgen", "--rate", *rate);
   bench::require_positive("chaos_loadgen", "--depth", *depth);
+  bench::require_positive("chaos_loadgen", "--max-attempts", *max_attempts);
+  bench::require_fraction("chaos_loadgen", "--trace-sample", *trace_sample);
+  bench::require_fraction("chaos_loadgen", "--um-fraction", *um_fraction);
   bench::require_writable_path("chaos_loadgen", *metrics_out);
   bench::require_writable_path("chaos_loadgen", *trace_path);
 
@@ -280,6 +338,7 @@ int main(int argc, char** argv) {
   settings.closed = *closed;
   settings.trace_path = *trace_path;
   settings.scrape = scrape;
+  settings.profile = profile;
 
   serve::WorkloadShape shape;
   shape.min_log2_elements = static_cast<int>(*min_log2);
@@ -331,7 +390,9 @@ int main(int argc, char** argv) {
   serve::ServiceModel model(model_options);
 
   std::ostringstream out;
-  out << "{\"workload\":{\"mode\":\""
+  out << "{";
+  bench::write_build_info(out);
+  out << ",\"workload\":{\"mode\":\""
       << (settings.closed ? "closed" : "open") << "\"";
   if (settings.closed) {
     out << ",\"tenants\":" << settings.closed_opts.tenants
@@ -349,6 +410,9 @@ int main(int argc, char** argv) {
       << ",\"cpu_pool\":" << (settings.service.use_cpu ? "true" : "false");
   // Echoed only when scraping, so unscraped reports keep their exact bytes.
   if (scraping) out << ",\"scrape_interval_us\":" << *scrape_interval;
+  if (profile.sampling()) {
+    out << ",\"profile_interval_us\":" << *profile_interval;
+  }
   out << "},\"fault\":{\"plan\":\""
       << (plan_path->empty() ? "builtin" : *plan_path)
       << "\",\"seed\":" << *fault_seed << ",\"specs\":" << plan.size()
@@ -362,6 +426,7 @@ int main(int argc, char** argv) {
   bool have_bandwidth = false;
   std::vector<std::string> slo_reports(policies.size());
   std::vector<std::string> timeline_reports(policies.size());
+  std::vector<std::string> cost_reports(policies.size());
   std::vector<bench::PerfSample> perf_samples(policies.size());
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto report =
@@ -369,6 +434,7 @@ int main(int argc, char** argv) {
                    static_cast<std::uint64_t>(*fault_seed), settings,
                    &slo_reports[i],
                    scraping ? &timeline_reports[i] : nullptr,
+                   profile.cost_report ? &cost_reports[i] : nullptr,
                    *perf ? &perf_samples[i] : nullptr);
     if (i > 0) out << ",";
     report.write_json(out);
@@ -396,6 +462,15 @@ int main(int argc, char** argv) {
       if (i > 0) out << ",";
       out << "{\"policy\":\"" << policies[i] << "\",\"timeline\":"
           << timeline_reports[i] << "}";
+    }
+    out << "]";
+  }
+  if (profile.cost_report) {
+    out << ",\"cost_report\":[";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"policy\":\"" << policies[i] << "\",\"cost\":"
+          << cost_reports[i] << "}";
     }
     out << "]";
   }

@@ -32,6 +32,8 @@
 #include "ghs/cluster/cluster.hpp"
 #include "ghs/fault/injector.hpp"
 #include "ghs/fault/plan.hpp"
+#include "ghs/profile/profiler.hpp"
+#include "ghs/profile/recorder.hpp"
 #include "ghs/serve/loadgen.hpp"
 #include "ghs/slo/monitor.hpp"
 #include "ghs/telemetry/exporters.hpp"
@@ -41,6 +43,8 @@
 #include "ghs/util/cli.hpp"
 #include "ghs/util/error.hpp"
 #include "ghs/util/rng.hpp"
+#include "build_info.hpp"
+#include "profile.hpp"
 #include "scrape.hpp"
 
 namespace {
@@ -60,6 +64,9 @@ struct RunSettings {
   /// Sim-time metrics scraping (off unless --scrape-interval was given).
   /// Per-node series fall out of the node="i" instrument labels.
   bench::ScrapeSettings scrape;
+  /// Sim-time profiling / cost attribution (off unless a --profile-* or
+  /// --cost-report flag was given, keeping artefacts byte-identical).
+  bench::ProfileSettings profile;
 };
 
 /// Tenant identity and data placement, derived from job ids by the ring's
@@ -86,7 +93,8 @@ cluster::ClusterReport run_router(cluster::RouterPolicy router,
                                   serve::ServiceModel& model,
                                   const RunSettings& settings,
                                   std::string* slo_json,
-                                  std::string* timeline_json = nullptr) {
+                                  std::string* timeline_json = nullptr,
+                                  std::string* cost_json = nullptr) {
   trace::Tracer tracer;
   const bool tracing = !settings.trace_path.empty();
   tracer.set_sampler(
@@ -99,6 +107,14 @@ cluster::ClusterReport run_router(cluster::RouterPolicy router,
   fault::Injector injector(settings.plan, settings.fault_seed,
                            options.node.telemetry);
   if (!settings.plan.empty()) options.node.injector = &injector;
+  const bool profiling = settings.profile.enabled();
+  // Declared before the fleet so every node's recorder pointer stays
+  // valid through the cluster's destructor.
+  std::optional<profile::Recorder> recorder;
+  if (profiling) {
+    recorder.emplace();
+    options.node.profile = &*recorder;
+  }
 
   cluster::Cluster fleet(model, options, tracing ? &tracer : nullptr);
   const bool scraping = settings.scrape.enabled();
@@ -111,6 +127,13 @@ cluster::ClusterReport run_router(cluster::RouterPolicy router,
                     scraper_options);
     scraper->start();
   }
+  std::optional<profile::Profiler> profiler;
+  if (settings.profile.sampling()) {
+    profile::ProfilerOptions profiler_options;
+    profiler_options.interval = settings.profile.interval;
+    profiler.emplace(fleet.sim(), *recorder, profiler_options, &store);
+    profiler->start();
+  }
   std::vector<serve::Job> jobs = serve::open_loop_poisson(settings.open);
   // Placement follows the hash ring of THIS fleet size, so the hash
   // router serves remote-eligible jobs on their data's home node.
@@ -118,6 +141,16 @@ cluster::ClusterReport run_router(cluster::RouterPolicy router,
   fleet.submit_all(std::move(jobs));
   fleet.run();
   if (scraping) scraper->finish();
+  if (profiler) profiler->finish();
+  if (profiling) {
+    // Fleet-wide reconciliation: per-node busy totals plus interconnect
+    // and journal-replay bytes must match the attributed ledger.
+    const auto check =
+        recorder->ledger().check(fleet.conservation_totals());
+    GHS_REQUIRE(check.ok(),
+                "cost attribution leaked on router '"
+                    << cluster::router_policy_name(router) << "'");
+  }
 
   if (tracing) {
     // Last router run wins the file, matching serve_loadgen's policy
@@ -128,7 +161,19 @@ cluster::ClusterReport run_router(cluster::RouterPolicy router,
     if (scraping) {
       bench::add_counter_tracks(exporter, store, settings.scrape.interval);
     }
+    if (profiler) bench::add_profile_tracks(exporter, *profiler);
     exporter.write(out);
+  }
+  if (profiler) {
+    // Like the trace, the last router run wins the collapsed-stack file.
+    bench::write_profile_file("cluster_loadgen", settings.profile, *profiler);
+  }
+  if (settings.profile.cost_report && cost_json != nullptr) {
+    std::ostringstream cost_os;
+    recorder->ledger().write_json(cost_os, fleet.conservation_totals());
+    *cost_json = cost_os.str();
+    std::cerr << "[" << cluster::router_policy_name(router) << "] ";
+    recorder->ledger().write_table(std::cerr, /*top_k=*/5);
   }
   if (scraping) {
     // Like the trace, the last router run wins the series file.
@@ -284,10 +329,25 @@ int main(int argc, char** argv) {
   const auto* series_out = cli.add_string(
       "series-out", "",
       "write the scraped time-series dump here (.csv for CSV)");
+  const auto* profile_interval = cli.add_int(
+      "profile-interval", 0,
+      "sim-time profiler sample interval, microseconds (0 = off)");
+  const auto* profile_out = cli.add_string(
+      "profile-out", "",
+      "write collapsed stacks here (flamegraph.pl-compatible)");
+  const auto* cost_report = cli.add_flag(
+      "cost-report",
+      "append per-tenant cost attribution to the report (+ stderr table)");
   cli.parse_or_exit(argc, argv);
 
   const auto scrape = bench::scrape_settings_or_exit(
       "cluster_loadgen", *scrape_interval, *series_out);
+  const auto profile = bench::profile_settings_or_exit(
+      "cluster_loadgen", *profile_interval, *profile_out, *cost_report);
+  bench::require_fraction("cluster_loadgen", "--trace-sample", *trace_sample);
+  bench::require_fraction("cluster_loadgen", "--um-fraction", *um_fraction);
+  bench::require_fraction("cluster_loadgen", "--remote-fraction",
+                          *remote_fraction);
   bench::require_writable_path("cluster_loadgen", *metrics_out);
   bench::require_writable_path("cluster_loadgen", *trace_path);
 
@@ -382,6 +442,7 @@ int main(int argc, char** argv) {
   settings.trace_path = *trace_path;
   settings.trace_sample = *trace_sample;
   settings.scrape = scrape;
+  settings.profile = profile;
   if (*slo) settings.slo_objectives = default_objectives(*slo_latency_ms);
 
   std::vector<cluster::RouterPolicy> routers;
@@ -397,7 +458,9 @@ int main(int argc, char** argv) {
   serve::ServiceModel model(model_options);
 
   std::ostringstream out;
-  out << "{\"workload\":{\"nodes\":" << *nodes << ",\"policy\":\"" << *policy
+  out << "{";
+  bench::write_build_info(out);
+  out << ",\"workload\":{\"nodes\":" << *nodes << ",\"policy\":\"" << *policy
       << "\",\"rate_hz_per_node\":" << *rate
       << ",\"jobs\":" << *jobs << ",\"seed\":" << *seed
       << ",\"tenants\":" << *tenants << ",\"remote_fraction\":"
@@ -411,6 +474,9 @@ int main(int argc, char** argv) {
       << (plan_path->empty() ? "none" : *plan_path) << "\"";
   // Echoed only when scraping, so unscraped reports keep their exact bytes.
   if (scraping) out << ",\"scrape_interval_us\":" << *scrape_interval;
+  if (profile.sampling()) {
+    out << ",\"profile_interval_us\":" << *profile_interval;
+  }
   // Membership knobs echoed only when the layer is on, for the same reason.
   if (membership) {
     out << ",\"crash_plan\":\""
@@ -423,9 +489,11 @@ int main(int argc, char** argv) {
   std::vector<cluster::ClusterReport> reports(routers.size());
   std::vector<std::string> slo_reports(routers.size());
   std::vector<std::string> timeline_reports(routers.size());
+  std::vector<std::string> cost_reports(routers.size());
   for (std::size_t i = 0; i < routers.size(); ++i) {
     reports[i] = run_router(routers[i], model, settings, &slo_reports[i],
-                            scraping ? &timeline_reports[i] : nullptr);
+                            scraping ? &timeline_reports[i] : nullptr,
+                            profile.cost_report ? &cost_reports[i] : nullptr);
     if (i > 0) out << ",";
     reports[i].write_json(out);
   }
@@ -480,6 +548,9 @@ int main(int argc, char** argv) {
     single.open.rate_hz = *rate;
     single.open.jobs = std::max<std::int64_t>(*jobs / *nodes, 1);
     single.scrape = bench::ScrapeSettings{};
+    // The fleet run owns the collapsed-stack file and the cost section;
+    // the denominator still self-checks conservation when profiling.
+    single.profile.profile_out.clear();
     const cluster::ClusterReport single_report = run_router(
         cluster::RouterPolicy::kLeast, model, single, nullptr);
     const cluster::ClusterReport& fleet = reports.front();
@@ -553,6 +624,15 @@ int main(int argc, char** argv) {
       if (i > 0) out << ",";
       out << "{\"router\":\"" << cluster::router_policy_name(routers[i])
           << "\",\"timeline\":" << timeline_reports[i] << "}";
+    }
+    out << "]";
+  }
+  if (profile.cost_report) {
+    out << ",\"cost_report\":[";
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"router\":\"" << cluster::router_policy_name(routers[i])
+          << "\",\"cost\":" << cost_reports[i] << "}";
     }
     out << "]";
   }

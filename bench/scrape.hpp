@@ -43,6 +43,18 @@ inline void require_positive(const std::string& program, const char* flag,
   }
 }
 
+/// Validates a sampling-fraction flag Cli-style (stderr + exit 2): the
+/// trace head sampler and friends take a probability, so anything outside
+/// [0, 1] is a spelling mistake, not a configuration.
+inline void require_fraction(const std::string& program, const char* flag,
+                             double value) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    std::cerr << program << ": " << flag << " must be in [0, 1], got "
+              << value << "\n";
+    std::exit(2);
+  }
+}
+
 /// Validates the scrape flags Cli-style (stderr + exit 2): --series-out
 /// needs --scrape-interval, the interval must be non-negative, and the
 /// series path's directory must exist.

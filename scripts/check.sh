@@ -24,6 +24,11 @@
 #                                 # drain, replay), then crash-schedule
 #                                 # byte-identity and exit-2 flag-validation
 #                                 # smokes on cluster_loadgen
+#   $ scripts/check.sh profile    # profiling/attribution suites under
+#                                 # ASan+UBSan, then profiler-on determinism
+#                                 # + profiler-off snapshot byte-identity,
+#                                 # conservation smokes, exit-2 flag
+#                                 # validation, and the instrument-name lint
 #   $ scripts/check.sh perf       # Release event-core throughput gate only:
 #                                 # a 10^5-job serve_loadgen smoke with
 #                                 # --perf, then the serve_perf wall-clock
@@ -90,13 +95,19 @@ for config in "${configs[@]}"; do
       target="membership_tests cluster_tests cluster_loadgen"
       test_regex="membership_tests|cluster_tests"
       ;;
+    profile)
+      dir=build-asan
+      flags=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DGHS_SANITIZE=ON)
+      target="profile_tests bench_tests serve_loadgen chaos_loadgen cluster_loadgen"
+      test_regex="profile_tests|bench_tests"
+      ;;
     perf)
       dir=build
       flags=(-DCMAKE_BUILD_TYPE=Release -DGHS_SANITIZE=OFF)
       target=serve_loadgen
       ;;
     *)
-      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|tsdb|membership|perf)" >&2
+      echo "unknown config '$config' (release|asan|telemetry|chaos|slo|cluster|tsdb|membership|profile|perf)" >&2
       exit 2
       ;;
   esac
@@ -160,7 +171,55 @@ for config in "${configs[@]}"; do
       fi
     done
   fi
+  if [[ "$config" == profile ]]; then
+    echo "==> profiler determinism smoke (same-seed byte identity under ASan)"
+    tmp=$(mktemp -d)
+    for run in a b; do
+      "$dir/bench/serve_loadgen" --jobs=500 --cost-report \
+        --profile-interval=50 --profile-out="$tmp/$run.folded" \
+        >"$tmp/$run.json" 2>/dev/null
+    done
+    cmp "$tmp/a.json" "$tmp/b.json"
+    cmp "$tmp/a.folded" "$tmp/b.folded"
+    echo "==> profiler-off byte-identity (snapshot unchanged by attribution)"
+    # Attribution only (--cost-report, no --profile-interval): sampling
+    # adds the profiler's own tick events to the sim, which legitimately
+    # moves ghs_sim_* — same as scraper ticks. Non-UM workload: unified
+    # jobs warm the tuner memo-cache when a recorder is attached (the
+    # same documented perturbation tracing has), so the identity property
+    # is checked without --um-fraction.
+    "$dir/bench/serve_loadgen" --jobs=500 --metrics-out="$tmp/off.prom" \
+      >/dev/null 2>&1
+    "$dir/bench/serve_loadgen" --jobs=500 --metrics-out="$tmp/on.prom" \
+      --cost-report >/dev/null 2>&1
+    python3 scripts/metrics_diff.py "$tmp/off.prom.json" "$tmp/on.prom.json"
+    echo "==> conservation smoke (fleet with crash/replay + remote transfers)"
+    # write_json GHS_CHECKs attributed == telemetry totals; a leak aborts.
+    "$dir/bench/cluster_loadgen" --nodes=4 --jobs=1000 --router=all \
+      --remote-fraction=0.4 --um-fraction=0.2 --crash-plan=1@300us:2ms \
+      --heartbeat-us=100 --cost-report --profile-interval=50 \
+      >/dev/null 2>&1
+    "$dir/bench/chaos_loadgen" --jobs=500 --um-fraction=0.3 --cost-report \
+      --profile-interval=50 >/dev/null 2>&1
+    rm -rf "$tmp"
+    echo "==> flag-validation smoke (bad profile/trace flags exit 2)"
+    for bad in "--profile-interval=-1" "--profile-out=x.folded" \
+               "--trace-sample=1.5" "--trace-sample=-0.1" \
+               "--um-fraction=2" "--scrape-interval=-1"; do
+      status=0
+      "$dir/bench/serve_loadgen" --jobs=10 "$bad" >/dev/null 2>&1 \
+        || status=$?
+      if [[ "$status" -ne 2 ]]; then
+        echo "expected exit 2 for $bad, got $status" >&2
+        exit 1
+      fi
+    done
+    echo "==> instrument-name lint (code vs docs/OBSERVABILITY.md)"
+    python3 scripts/lint_instruments.py
+  fi
   if [[ "$config" == release ]]; then
+    echo "==> instrument-name lint (code vs docs/OBSERVABILITY.md)"
+    python3 scripts/lint_instruments.py
     echo "==> perf gate ($config)"
     python3 scripts/perf_gate.py --bindir "$dir/bench"
   fi

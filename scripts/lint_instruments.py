@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Two-way instrument-name lint: code vs docs/OBSERVABILITY.md.
+
+Every telemetry instrument the simulator registers is named by a string
+literal starting with "ghs_" somewhere under src/ or bench/.  The
+instrument inventory in docs/OBSERVABILITY.md is supposed to be the
+complete catalogue of those names.  This lint keeps the two in sync, in
+both directions:
+
+  * a name registered in code but absent from the docs fails the lint
+    (undocumented instrument), and
+  * a full name in the docs that no code registers fails the lint
+    (stale docs).
+
+Doc spellings the extractor understands:
+
+  * label sets are stripped:      ghs_um_migrated_bytes_total{dest}
+  * mid-name braces expand:       ghs_serve_jobs_{admitted,rejected}_total
+  * prose wildcards are ignored:  ghs_fault_* / ghs_serve_retry_*
+    (they never satisfy coverage -- the docs must still enumerate the
+    full names somewhere).
+
+Exit status: 0 when the sets match, 1 with a listing per direction when
+they do not, 2 on usage/environment errors.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+CODE_DIRS = ("src", "bench")
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+CODE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+# Only quoted literals count as registrations; the opening quote anchors
+# the match so identifiers and comments never leak in.
+CODE_NAME = re.compile(r'"(ghs_[a-z0-9_]+)')
+# Doc tokens may carry label braces, expansion braces, or a prose '*'.
+DOC_TOKEN = re.compile(r"ghs_[a-z0-9_]+(?:\{[a-z0-9_,]+\}[a-z0-9_]*)?\*?")
+EXPANSION = re.compile(r"\{([a-z0-9_,]+)\}")
+
+
+def code_names() -> set[str]:
+    names: set[str] = set()
+    for top in CODE_DIRS:
+        for path in sorted((ROOT / top).rglob("*")):
+            if path.suffix in CODE_SUFFIXES:
+                names.update(CODE_NAME.findall(path.read_text()))
+    return names
+
+
+def expand_doc_token(token: str) -> list[str]:
+    """One doc token -> zero or more full instrument names."""
+    if token.endswith("*") or token.endswith("_"):
+        return []  # prose wildcard / prefix fragment, never a full name
+    brace = EXPANSION.search(token)
+    if brace is None:
+        return [token]
+    if token.endswith("}"):  # trailing {dest} / {device} is a label set
+        return [token[: brace.start()]]
+    head, tail = token[: brace.start()], token[brace.end() :]
+    return [head + alt + tail for alt in brace.group(1).split(",")]
+
+
+def doc_names() -> set[str]:
+    names: set[str] = set()
+    for token in DOC_TOKEN.findall(DOC.read_text()):
+        names.update(expand_doc_token(token))
+    return names
+
+
+def main() -> int:
+    if not DOC.is_file():
+        print(f"lint_instruments: {DOC} not found", file=sys.stderr)
+        return 2
+    in_code = code_names()
+    in_docs = doc_names()
+    undocumented = sorted(in_code - in_docs)
+    stale = sorted(in_docs - in_code)
+    if undocumented:
+        print(
+            f"{len(undocumented)} instrument(s) registered in code but "
+            f"missing from {DOC.relative_to(ROOT)}:",
+            file=sys.stderr,
+        )
+        for name in undocumented:
+            print(f"  {name}", file=sys.stderr)
+    if stale:
+        print(
+            f"{len(stale)} instrument(s) documented in "
+            f"{DOC.relative_to(ROOT)} but registered nowhere under "
+            f"{'/'.join(CODE_DIRS)}:",
+            file=sys.stderr,
+        )
+        for name in stale:
+            print(f"  {name}", file=sys.stderr)
+    if undocumented or stale:
+        return 1
+    print(
+        f"lint_instruments: {len(in_code)} instrument names consistent "
+        "between code and docs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,17 @@ Typical uses:
   # thresholded compare flags series whose totals drifted:
   $ scripts/metrics_diff.py --series a.series.json b.series.json
 
+  # Top-level loadgen reports (serve/chaos/cluster stdout JSON) use
+  # --report. Every numeric leaf is compared by its JSON path; the
+  # build_info stamp itself is excluded from the value diff but its
+  # schema version is enforced first — two reports whose binaries speak
+  # different report schemas refuse to diff (exit 2) instead of
+  # producing a wall of spurious NEW/REMOVED lines:
+  $ scripts/metrics_diff.py --report a.report.json b.report.json
+
 Exit status: 0 when the snapshots agree (within the threshold), 1 when any
 instrument regressed/appeared/disappeared, 2 on usage errors — including a
-missing or malformed snapshot file.
+missing or malformed snapshot file and a --report schema mismatch.
 """
 
 import argparse
@@ -65,6 +73,62 @@ def load_series(path):
         print(f"error: {path} is not a ghs-series-v1 dump", file=sys.stderr)
         sys.exit(2)
     return doc
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read report {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    info = doc.get("build_info")
+    if not isinstance(info, dict) or "schema" not in info:
+        print(f"error: {path} is not a loadgen report (missing "
+              f"'build_info.schema' — produced by a pre-v2 binary?)",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def require_matching_schema(baseline, candidate, baseline_path,
+                            candidate_path):
+    """Refuses to diff reports from shape-incompatible binaries."""
+    before = baseline["build_info"]["schema"]
+    after = candidate["build_info"]["schema"]
+    if before != after:
+        print(f"error: report schema mismatch: {baseline_path} is "
+              f"'{before}' but {candidate_path} is '{after}'; not "
+              f"comparing shape-incompatible reports", file=sys.stderr)
+        sys.exit(2)
+
+
+def flatten_report(doc):
+    """One {json path: numeric value} map per loadgen report.
+
+    build_info is compared via its schema gate, not per-field (compiler
+    versions legitimately differ between comparable runs), and the
+    --perf section is wall-clock by design, so both stay out.
+    """
+    values = {}
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key, child in node.items():
+                walk(child, f"{path}.{key}" if path else key)
+        elif isinstance(node, list):
+            for index, child in enumerate(node):
+                walk(child, f"{path}[{index}]")
+        elif isinstance(node, bool):
+            values[path] = float(node)
+        elif isinstance(node, (int, float)):
+            values[path] = float(node)
+
+    for key, child in doc.items():
+        if key in ("build_info", "perf"):
+            continue
+        walk(child, key)
+    return values
 
 
 def parse_instrument(name):
@@ -247,7 +311,16 @@ def main():
         "--series", action="store_true",
         help="compare ghs-series-v1 time-series dumps (--series-out files) "
              "instead of telemetry snapshots")
+    parser.add_argument(
+        "--report", action="store_true",
+        help="compare top-level loadgen reports (stdout JSON); enforces a "
+             "matching build_info.schema before diffing")
     args = parser.parse_args()
+    if args.series and args.report:
+        parser.error("--series and --report are mutually exclusive")
+    if args.report and (args.select_label or args.strip_label):
+        parser.error("--select-label/--strip-label apply to snapshots and "
+                     "series, not reports")
     if args.threshold < 0:
         parser.error("--threshold must be >= 0")
     select = []
@@ -258,7 +331,14 @@ def main():
         select.append((key, value))
     strip = set(args.strip_label)
 
-    if args.series:
+    if args.report:
+        baseline_doc = load_report(args.baseline)
+        candidate_doc = load_report(args.candidate)
+        require_matching_schema(baseline_doc, candidate_doc,
+                                args.baseline, args.candidate)
+        before = flatten_report(baseline_doc)
+        after = flatten_report(candidate_doc)
+    elif args.series:
         before = flatten_series(rewrite_series(
             load_series(args.baseline), args.baseline, select, strip))
         after = flatten_series(rewrite_series(

@@ -154,10 +154,12 @@ Cluster::Cluster(serve::ServiceModel& model, ClusterOptions options,
   routed_.assign(static_cast<std::size_t>(options_.nodes), 0);
   pending_.assign(static_cast<std::size_t>(options_.nodes), 0);
 
+  recorder_ = options_.node.profile;
   for (int i = 0; i < options_.nodes; ++i) {
     serve::ServiceOptions node_options = options_.node;
     node_options.external_sim = &sim_;
     node_options.instance_labels.push_back({"node", std::to_string(i)});
+    node_options.profile_node = static_cast<std::int16_t>(i);
     if (i != options_.fault_node) node_options.injector = nullptr;
     nodes_.push_back(std::make_unique<serve::ReductionService>(
         serve::make_policy(options_.policy, model_), model_, node_options,
@@ -413,7 +415,8 @@ void Cluster::route(serve::Job job) {
   deliver(std::move(job), target, home);
 }
 
-void Cluster::deliver(serve::Job job, int target, int transfer_src) {
+void Cluster::deliver(serve::Job job, int target, int transfer_src,
+                      profile::Phase phase) {
   GHS_REQUIRE(target >= 0 && target < options_.nodes, "deliver to " << target);
   // Write-ahead: the journal owns the job from the moment the cluster
   // commits to this delivery, before any transfer time elapses — so a
@@ -431,8 +434,17 @@ void Cluster::deliver(serve::Job job, int target, int transfer_src) {
     ++remote_jobs_;
   }
   const Bytes bytes = job.bytes();
+  transfer_bytes_total_ += bytes;
   if (m_transfers_ != nullptr) m_transfers_->inc();
   if (m_transfer_bytes_ != nullptr) m_transfer_bytes_->inc(bytes);
+  if (recorder_ != nullptr) {
+    // Charged exactly where the interconnect counter increments, so the
+    // ledger's transfer+steal+drain bytes reconcile against bytes_moved().
+    recorder_->on_bytes(static_cast<std::int16_t>(target),
+                        {job.tenant, static_cast<std::uint8_t>(job.case_id),
+                         job.elements, bytes, job.enqueued},
+                        phase, bytes);
+  }
   const SimTime begin = sim_.now();
   const std::string label = "job" + std::to_string(job.id) + " node" +
                             std::to_string(transfer_src) + "->node" +
@@ -540,7 +552,7 @@ void Cluster::steal_from(int sick, SimTime at) {
     }
     // The queued context lives on the sick node, so the move is priced
     // from there regardless of where the bytes originally came from.
-    deliver(std::move(job), target, sick);
+    deliver(std::move(job), target, sick, profile::Phase::kSteal);
   }
 }
 
@@ -653,7 +665,7 @@ void Cluster::do_drain(int node) {
       finish_reject(job, sim_.now());
       continue;
     }
-    deliver(std::move(job), target, node);
+    deliver(std::move(job), target, node, profile::Phase::kDrain);
   }
   // In-flight launches finish lame-duck (their completions still count);
   // in-flight deliveries land on a non-serving node and get redirected.
@@ -679,6 +691,15 @@ void Cluster::replay_open(int node, SimTime at, bool onto_self) {
     replay_bytes_ += job.bytes();
     if (m_replayed_ != nullptr) m_replayed_->inc();
     if (m_replay_bytes_ != nullptr) m_replay_bytes_->inc(job.bytes());
+    if (recorder_ != nullptr) {
+      // The journal replay itself; the deliver below prices any resulting
+      // interconnect move separately as a plain transfer.
+      recorder_->on_bytes(static_cast<std::int16_t>(node),
+                          {job.tenant,
+                           static_cast<std::uint8_t>(job.case_id),
+                           job.elements, job.bytes(), job.enqueued},
+                          profile::Phase::kReplay, job.bytes());
+    }
     if (onto_self) {
       // Local WAL recovery on the restarted process: no transfer, the
       // data never left the node.
@@ -838,6 +859,19 @@ ClusterReport Cluster::report() const {
     }
   }
   return report;
+}
+
+profile::ConservationTotals Cluster::conservation_totals() const {
+  profile::ConservationTotals totals;
+  for (const auto& node : nodes_) {
+    const profile::ConservationTotals t = node->conservation_totals();
+    totals.gpu_busy_ps += t.gpu_busy_ps;
+    totals.cpu_busy_ps += t.cpu_busy_ps;
+    totals.um_bytes += t.um_bytes;
+  }
+  totals.transfer_bytes = transfer_bytes_total_;
+  totals.replay_bytes = replay_bytes_;
+  return totals;
 }
 
 void Cluster::feed_slo(slo::Monitor& monitor) const {

@@ -230,6 +230,11 @@ class Cluster {
 
   ClusterReport report() const;
 
+  /// Telemetry-side totals the profile::CostLedger reconciles against:
+  /// every node's device busy time and unified bytes, plus the
+  /// interconnect's moved bytes and the journal's replayed bytes.
+  profile::ConservationTotals conservation_totals() const;
+
   /// Feeds an SLO monitor with cluster-level outcomes: completions judged
   /// on front-door latency, cluster rejections/sheds as bad availability
   /// samples. Passthrough mode defers to Monitor::feed semantics.
@@ -269,8 +274,12 @@ class Cluster {
   std::vector<std::size_t> all_loads() const;
   void route(serve::Job job);
   /// Hands the job to `target`, paying `transfer_src`->target transfer
-  /// first when transfer_src >= 0 and differs from target.
-  void deliver(serve::Job job, int target, int transfer_src);
+  /// first when transfer_src >= 0 and differs from target. `phase` names
+  /// the move in the profile ledger (route/spill transfers vs steals vs
+  /// drain flushes) so attributed bytes still sum to the interconnect's
+  /// transfer counter exactly.
+  void deliver(serve::Job job, int target, int transfer_src,
+               profile::Phase phase = profile::Phase::kTransfer);
   void submit_to(serve::Job job, int target);
   void finish_reject(const serve::Job& job, SimTime at);
   void steal_from(int sick, SimTime at);
@@ -294,6 +303,10 @@ class Cluster {
   serve::ServiceModel& model_;
   ClusterOptions options_;
   trace::Tracer* tracer_;
+  /// Aliases options_.node.profile (null when profiling is off); the
+  /// cluster charges its interconnect/journal bytes here, the nodes their
+  /// launch time.
+  profile::Recorder* recorder_ = nullptr;
   /// Shared fleet clock; unused in passthrough mode (the single node owns
   /// its simulator, exactly like a standalone service).
   sim::Simulator sim_;
@@ -336,6 +349,9 @@ class Cluster {
   std::int64_t redirected_ = 0;
   std::int64_t dup_suppressed_ = 0;
   std::int64_t replay_bytes_ = 0;
+  /// Exact integer twin of the interconnect's bytes_moved() (a double);
+  /// the telemetry side of the ledger's transfer-byte conservation.
+  Bytes transfer_bytes_total_ = 0;
   std::vector<double> detection_ms_;
   telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::Counter* m_submitted_ = nullptr;

@@ -12,13 +12,22 @@ namespace ghs::serve {
 DevicePool::DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
                        trace::Tracer* tracer, telemetry::Sink sink,
                        fault::Injector* injector,
-                       const telemetry::Labels& instance_labels)
+                       const telemetry::Labels& instance_labels,
+                       profile::Recorder* recorder, std::int16_t node)
     : sim_(sim),
       model_(model),
       use_cpu_(use_cpu),
       tracer_(tracer),
-      injector_(injector) {
+      injector_(injector),
+      recorder_(recorder),
+      node_(node) {
   flight_ = sink.flight;
+  if (recorder_ != nullptr) {
+    // Announce the devices up front so the profiler samples them as idle
+    // before their first launch.
+    recorder_->register_device(node_, profile::Device::kGpu);
+    if (use_cpu_) recorder_->register_device(node_, profile::Device::kCpu);
+  }
   if (sink.metrics != nullptr) {
     const auto with_inst = [&instance_labels](telemetry::Labels labels) {
       labels.insert(labels.end(), instance_labels.begin(),
@@ -172,6 +181,18 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
     }
     trace_launch = !any_ctx || any_kept;
   }
+  // Kernel start within the launch: unified launches migrate their managed
+  // buffers first. The share goes through the model's memo cache (tuner
+  // hit/miss counters), so it is computed only when a consumer — the
+  // tracer's device spans or the profile recorder — actually needs it,
+  // keeping consumer-free runs byte-identical.
+  SimTime kernel_begin = begin;
+  if (!failed && unified && (trace_launch || recorder_ != nullptr)) {
+    const SimTime share = std::min(
+        model_.unified_migration_share(case_id, total_elements, tuning),
+        service);
+    kernel_begin = begin + share;
+  }
   if (trace_launch) {
     const auto& spec = workload::case_spec(case_id);
     tracer_->record(trace::Track::kServer,
@@ -185,13 +206,6 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
     // and — on success — the device-level grandchildren (the page
     // migration share first for unified launches, then the kernel), so a
     // job's trace tree reaches all the way into the simulated hardware.
-    SimTime kernel_begin = begin;
-    if (!failed && unified) {
-      const SimTime share = std::min(
-          model_.unified_migration_share(case_id, total_elements, tuning),
-          service);
-      kernel_begin = begin + share;
-    }
     for (const auto& job : jobs) {
       if (!job.ctx.valid() || !tracer_->keep(job.ctx)) continue;
       const trace::Context exec_ctx = job.ctx.child(tracer_->new_span_id());
@@ -218,6 +232,28 @@ void DevicePool::launch(Placement device, std::vector<Job> jobs,
                         exec_ctx.child(tracer_->new_span_id()));
       }
     }
+  }
+
+  if (!failed && unified) {
+    for (const auto& job : jobs) stats_.unified_bytes += job.bytes();
+  }
+  if (recorder_ != nullptr) {
+    profile::LaunchSample sample;
+    sample.node = node_;
+    sample.device = device == Placement::kGpu ? profile::Device::kGpu
+                                              : profile::Device::kCpu;
+    sample.begin = begin;
+    sample.kernel_begin = kernel_begin;
+    sample.end = end;
+    sample.unified = unified;
+    sample.failed = failed;
+    std::vector<profile::JobCost> costs;
+    costs.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      costs.push_back({job.tenant, static_cast<std::uint8_t>(job.case_id),
+                       job.elements, job.bytes(), job.enqueued});
+    }
+    recorder_->on_launch(sample, costs);
   }
 
   LaunchResult result;

@@ -18,6 +18,7 @@
 
 #include "ghs/core/reduce.hpp"
 #include "ghs/fault/injector.hpp"
+#include "ghs/profile/recorder.hpp"
 #include "ghs/serve/job.hpp"
 #include "ghs/serve/service_model.hpp"
 #include "ghs/sim/simulator.hpp"
@@ -51,6 +52,9 @@ struct DevicePoolStats {
   /// gpu_jobs/cpu_jobs — only served work lands there.
   std::int64_t gpu_failed_launches = 0;
   std::int64_t cpu_failed_launches = 0;
+  /// Managed-buffer bytes moved by successful unified launches; the
+  /// telemetry side of the profile ledger's um.migrate byte conservation.
+  Bytes unified_bytes = 0;
 };
 
 /// Outcome of one launch: on success `records` carries one JobRecord per
@@ -69,11 +73,13 @@ class DevicePool {
   /// idle), which lets single-device policies run on a matching machine.
   /// `injector` (may be null) degrades launches per its FaultPlan.
   /// `instance_labels` namespace the pool's instruments per cluster node;
-  /// empty keeps standalone instrument identities unchanged.
+  /// empty keeps standalone instrument identities unchanged. `recorder`
+  /// (may be null) receives per-launch cost attribution under `node`.
   DevicePool(sim::Simulator& sim, ServiceModel& model, bool use_cpu,
              trace::Tracer* tracer, telemetry::Sink sink = {},
              fault::Injector* injector = nullptr,
-             const telemetry::Labels& instance_labels = {});
+             const telemetry::Labels& instance_labels = {},
+             profile::Recorder* recorder = nullptr, std::int16_t node = 0);
 
   bool idle(Placement device) const;
   bool use_cpu() const { return use_cpu_; }
@@ -95,6 +101,8 @@ class DevicePool {
   bool use_cpu_;
   trace::Tracer* tracer_;
   fault::Injector* injector_;
+  profile::Recorder* recorder_;
+  std::int16_t node_;
   telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::Counter* m_gpu_launches_ = nullptr;
   telemetry::Counter* m_cpu_launches_ = nullptr;

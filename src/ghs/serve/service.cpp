@@ -110,7 +110,8 @@ ReductionService::ReductionService(std::unique_ptr<SchedulerPolicy> policy,
       queue_(options.queue_depth),
       injector_(effective_injector(options.injector)),
       pool_(sim_, model, options.use_cpu, tracer, options.telemetry,
-            injector_, options.instance_labels),
+            injector_, options.instance_labels, options.profile,
+            options.profile_node),
       gpu_breaker_(options.breaker),
       cpu_breaker_(options.breaker),
       retry_rng_(options.retry.jitter_seed) {
@@ -536,6 +537,13 @@ void ReductionService::handle_failed_job(const Job& job) {
   }
   ++retries_;
   if (m_retries_ != nullptr) m_retries_->inc();
+  if (options_.profile != nullptr) {
+    options_.profile->on_retry_backoff(
+        options_.profile_node,
+        {job.tenant, static_cast<std::uint8_t>(job.case_id), job.elements,
+         job.bytes(), job.enqueued},
+        backoff + jitter);
+  }
   if (flight_ != nullptr) {
     flight_->record(now, "serve", "retry",
                     "job " + std::to_string(job.id) + " attempt " +
@@ -672,6 +680,14 @@ ServiceReport ReductionService::report() const {
     report.tuner_misses = bandwidth->tuner_cache().misses;
   }
   return report;
+}
+
+profile::ConservationTotals ReductionService::conservation_totals() const {
+  profile::ConservationTotals totals;
+  totals.gpu_busy_ps = pool_.stats().gpu_busy;
+  totals.cpu_busy_ps = pool_.stats().cpu_busy;
+  totals.um_bytes = pool_.stats().unified_bytes;
+  return totals;
 }
 
 stats::Series ReductionService::latency_series() const {

@@ -24,6 +24,7 @@
 
 #include "ghs/fault/breaker.hpp"
 #include "ghs/fault/injector.hpp"
+#include "ghs/profile/recorder.hpp"
 #include "ghs/serve/device_pool.hpp"
 #include "ghs/serve/job.hpp"
 #include "ghs/serve/policy.hpp"
@@ -87,6 +88,15 @@ struct ServiceOptions {
   /// telemetry. Empty (the default) keeps the standalone instrument names
   /// byte-identical to pre-cluster builds.
   telemetry::Labels instance_labels;
+  /// Cost-attribution recorder (ghs::profile). When set, the service and
+  /// its DevicePool charge every launch interval, queue wait, and retry
+  /// backoff to the recorder's ledger under `profile_node`. Null (the
+  /// default) takes no profiling branches and keeps every output
+  /// byte-identical to an unprofiled build.
+  profile::Recorder* profile = nullptr;
+  /// Node index stamped into this service's cost keys (a cluster sets it
+  /// per node; standalone stays 0).
+  std::int16_t profile_node = 0;
 };
 
 /// Latency-style distribution in milliseconds.
@@ -226,6 +236,11 @@ class ReductionService {
   }
 
   ServiceReport report() const;
+
+  /// Telemetry-side totals the profile::CostLedger reconciles against:
+  /// the pool's device busy time and unified-migration bytes (standalone
+  /// services move no interconnect/replay bytes).
+  profile::ConservationTotals conservation_totals() const;
 
   /// Per-job latency series (x = arrival ms, y = latency ms), ready for a
   /// stats::Figure.

@@ -135,6 +135,13 @@ TimelineReport build_timeline(const Tsdb& store,
       report.utilization.push_back(stats_of(series, util_scale));
       find_saturation(series, util_scale, options.utilization_threshold,
                       options, report.saturation);
+    } else if (starts_with(series.key(),
+                           "ghs_profile_tenant_busy_ps_total")) {
+      // Profiler attribution series: busy-ps deltas per tenant, same
+      // utilization scaling as the device series (a tenant saturating a
+      // device alone reads 1.0). No saturation windows — a hot tenant is
+      // not an incident by itself.
+      report.utilization.push_back(stats_of(series, util_scale));
     } else if (starts_with(series.key(), "ghs_serve_queue_depth")) {
       report.queue_depth.push_back(stats_of(series, 1.0));
       find_saturation(series, 1.0, queue_limit, options, report.saturation);

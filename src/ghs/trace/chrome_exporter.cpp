@@ -80,12 +80,18 @@ const char* ChromeTraceExporter::process_name(int pid) {
       return "Reduction service";
     case kTelemetryPid:
       return "Telemetry";
+    case kProfilePid:
+      return "Profiler";
   }
   return "?";
 }
 
 void ChromeTraceExporter::add_counter_track(CounterTrack track) {
   counters_.push_back(std::move(track));
+}
+
+void ChromeTraceExporter::add_profile_track(ProfileTrack track) {
+  profiles_.push_back(std::move(track));
 }
 
 void ChromeTraceExporter::write(std::ostream& os) const {
@@ -126,6 +132,21 @@ void ChromeTraceExporter::write(std::ostream& os) const {
       os << "{\"pid\":" << kTelemetryPid << ",\"tid\":" << i
          << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\"";
       write_escaped(os, counters_[i].name);
+      os << "\"}}";
+    }
+  }
+  // Profiler metadata under the same gate, so profiler-free exports stay
+  // byte-identical to pre-profiler builds.
+  if (!profiles_.empty()) {
+    sep();
+    os << "{\"pid\":" << kProfilePid
+       << ",\"tid\":0,\"ph\":\"M\",\"name\":\"process_name\",\"args\":"
+       << "{\"name\":\"" << process_name(kProfilePid) << "\"}}";
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+      sep();
+      os << "{\"pid\":" << kProfilePid << ",\"tid\":" << i
+         << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      write_escaped(os, profiles_[i].name);
       os << "\"}}";
     }
   }
@@ -229,6 +250,20 @@ void ChromeTraceExporter::write(std::ostream& os) const {
          << ",\"name\":\"";
       write_escaped(os, counters_[i].name);
       os << "\",\"args\":{\"value\":" << value_buf << "}}";
+    }
+  }
+
+  // Profiler slice tracks after counters: "ph":"X" spans per device
+  // thread, one slice per coalesced sample run.
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    for (const auto& slice : profiles_[i].slices) {
+      sep();
+      os << "{\"pid\":" << kProfilePid << ",\"tid\":" << i
+         << ",\"ph\":\"X\",\"ts\":" << to_trace_us(slice.begin)
+         << ",\"dur\":" << to_trace_us(slice.end - slice.begin)
+         << ",\"name\":\"";
+      write_escaped(os, slice.name);
+      os << "\"}";
     }
   }
 

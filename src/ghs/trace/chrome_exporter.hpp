@@ -40,6 +40,21 @@ struct CounterTrack {
   std::vector<CounterSample> samples;
 };
 
+/// One coalesced profiler observation: the device held this folded stack
+/// for [begin, end].
+struct ProfileSlice {
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
+/// A per-device profiler thread ("ph":"X" slices) rendered on the
+/// profiler process; ghs::profile builds these from its sample chain.
+struct ProfileTrack {
+  std::string name;
+  std::vector<ProfileSlice> slices;
+};
+
 class ChromeTraceExporter {
  public:
   explicit ChromeTraceExporter(const Tracer& tracer,
@@ -49,19 +64,25 @@ class ChromeTraceExporter {
   /// is byte-identical to a counter-free build.
   void add_counter_track(CounterTrack track);
 
+  /// Adds a profiler slice track. Same gate as counters: with none added
+  /// the output is byte-identical to a profiler-free build.
+  void add_profile_track(ProfileTrack track);
+
   void write(std::ostream& os) const;
 
   /// Process ("pid") a track renders under: 1 = H100 GPU, 2 = Grace CPU,
   /// 3 = reduction service / runtime. Counter tracks render under
-  /// kTelemetryPid.
+  /// kTelemetryPid, profiler slice tracks under kProfilePid.
   static int process_of(Track track);
   static const char* process_name(int pid);
   static constexpr int kTelemetryPid = 4;
+  static constexpr int kProfilePid = 5;
 
  private:
   const Tracer& tracer_;
   ChromeTraceOptions options_;
   std::vector<CounterTrack> counters_;
+  std::vector<ProfileTrack> profiles_;
 };
 
 }  // namespace ghs::trace

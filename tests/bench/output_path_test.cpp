@@ -1,0 +1,62 @@
+// Edge cases for bench/output_path.hpp: the fail-fast path validation
+// that every loadgen output flag funnels through.
+#include "output_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ghs::bench {
+namespace {
+
+using ExitCode2 = testing::ExitedWithCode;
+
+TEST(RequireWritablePathTest, EmptyAndBareFilenamesPass) {
+  require_writable_path("prog", "");
+  require_writable_path("prog", "report.json");  // cwd, no parent to check
+}
+
+TEST(RequireWritablePathTest, ExistingDirectoryPasses) {
+  require_writable_path("prog", testing::TempDir() + "out.json");
+}
+
+TEST(RequireWritablePathTest, MissingParentExits2) {
+  const std::string path =
+      testing::TempDir() + "ghs_no_such_dir/out.json";
+  EXPECT_EXIT(require_writable_path("prog", path), ExitCode2(2),
+              "directory");
+}
+
+TEST(RequireWritablePathTest, NestedMissingParentsExit2) {
+  // Several missing levels: the check must fail on the first missing
+  // ancestor, not only a missing leaf directory.
+  const std::string path =
+      testing::TempDir() + "ghs_missing_a/missing_b/missing_c/out.json";
+  EXPECT_EXIT(require_writable_path("prog", path), ExitCode2(2),
+              "directory");
+}
+
+TEST(OpenOutputTest, OpensAndWrites) {
+  const std::string path = testing::TempDir() + "ghs_output_path_test.txt";
+  {
+    auto out = open_output_or_exit("prog", path);
+    out << "ok";
+  }
+  std::ifstream in(path);
+  std::string text;
+  in >> text;
+  EXPECT_EQ(text, "ok");
+  std::remove(path.c_str());
+}
+
+TEST(OpenOutputTest, UnwritablePathExits2) {
+  EXPECT_EXIT(
+      open_output_or_exit("prog",
+                          testing::TempDir() + "ghs_nodir/deep/out.txt"),
+      ExitCode2(2), "");
+}
+
+}  // namespace
+}  // namespace ghs::bench

@@ -1,0 +1,155 @@
+// Edge cases for the shared loadgen flag helpers in bench/scrape.hpp and
+// bench/profile.hpp: flag validation is exit-2 (death tests), and the
+// scrape/series plumbing must behave on degenerate runs (no sim time, an
+// interval longer than the run).
+#include "scrape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ghs/sim/simulator.hpp"
+#include "ghs/telemetry/registry.hpp"
+#include "profile.hpp"
+
+namespace ghs::bench {
+namespace {
+
+using ExitCode2 = testing::ExitedWithCode;
+
+TEST(RequirePositiveTest, RejectsZeroAndNegative) {
+  EXPECT_EXIT(require_positive("prog", "--jobs", 0), ExitCode2(2),
+              "--jobs must be > 0");
+  EXPECT_EXIT(require_positive("prog", "--rate", -1.5), ExitCode2(2),
+              "--rate must be > 0");
+  require_positive("prog", "--jobs", 1);  // survives
+}
+
+TEST(RequireFractionTest, RejectsOutOfRange) {
+  EXPECT_EXIT(require_fraction("prog", "--trace-sample", -0.01), ExitCode2(2),
+              "--trace-sample must be in \\[0, 1\\]");
+  EXPECT_EXIT(require_fraction("prog", "--trace-sample", 1.5), ExitCode2(2),
+              "--trace-sample must be in \\[0, 1\\]");
+  require_fraction("prog", "--trace-sample", 0.0);  // boundaries survive
+  require_fraction("prog", "--trace-sample", 1.0);
+}
+
+TEST(ScrapeSettingsTest, NegativeIntervalExits2) {
+  EXPECT_EXIT(scrape_settings_or_exit("prog", -1, ""), ExitCode2(2),
+              "--scrape-interval must be >= 0");
+}
+
+TEST(ScrapeSettingsTest, SeriesOutWithoutIntervalExits2) {
+  EXPECT_EXIT(scrape_settings_or_exit("prog", 0, "/tmp/x.json"), ExitCode2(2),
+              "--series-out requires --scrape-interval > 0");
+}
+
+TEST(ScrapeSettingsTest, ValidSettingsConvertToSimTime) {
+  const auto settings = scrape_settings_or_exit("prog", 25, "");
+  EXPECT_EQ(settings.interval, 25 * kMicrosecond);
+  EXPECT_TRUE(settings.enabled());
+  EXPECT_FALSE(scrape_settings_or_exit("prog", 0, "").enabled());
+}
+
+TEST(ProfileSettingsTest, NegativeIntervalExits2) {
+  EXPECT_EXIT(profile_settings_or_exit("prog", -5, "", false), ExitCode2(2),
+              "--profile-interval must be >= 0");
+}
+
+TEST(ProfileSettingsTest, ProfileOutWithoutIntervalExits2) {
+  EXPECT_EXIT(profile_settings_or_exit("prog", 0, "/tmp/x.folded", false),
+              ExitCode2(2),
+              "--profile-out requires --profile-interval > 0");
+}
+
+TEST(ProfileSettingsTest, CostReportAloneEnablesAttributionOnly) {
+  const auto settings = profile_settings_or_exit("prog", 0, "", true);
+  EXPECT_TRUE(settings.enabled());
+  EXPECT_FALSE(settings.sampling());
+  const auto off = profile_settings_or_exit("prog", 0, "", false);
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(ScraperEdgeTest, ZeroWorkRunSeesOnlyTheScrapersOwnTick) {
+  // No workload events: the scraper's own first tick is the only thing
+  // in the queue, so the run ends after one interval with the tick
+  // sample plus finish()'s trailing sample — and every delta is zero
+  // because start() baselined the pre-run count.
+  sim::Simulator sim;
+  telemetry::Registry registry;
+  registry.counter("c").inc(3);
+  timeseries::Tsdb store;
+  timeseries::ScraperOptions options;
+  options.interval = 10 * kMicrosecond;
+  timeseries::Scraper scraper(sim, registry, store, options);
+  scraper.start();
+  sim.run();
+  scraper.finish();
+  const timeseries::Series* series = store.find("c");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->raw().size(), 2u);
+  EXPECT_EQ(series->raw()[0].at, 10 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(series->total_sum(), 0.0);
+}
+
+TEST(ScraperEdgeTest, IntervalLongerThanRunStillCapturesTotals) {
+  sim::Simulator sim;
+  telemetry::Registry registry;
+  auto& counter = registry.counter("c");
+  sim.schedule_at(5 * kMicrosecond, [&] { counter.inc(7); });
+  timeseries::Tsdb store;
+  timeseries::ScraperOptions options;
+  options.interval = 1000 * kMicrosecond;  // run lasts 5us
+  timeseries::Scraper scraper(sim, registry, store, options);
+  scraper.start();
+  sim.run();
+  scraper.finish();
+  const timeseries::Series* series = store.find("c");
+  ASSERT_NE(series, nullptr);
+  EXPECT_DOUBLE_EQ(series->total_sum(), 7.0);
+}
+
+TEST(WriteSeriesFileTest, EmptyPathIsNoOp) {
+  sim::Simulator sim;
+  telemetry::Registry registry;
+  timeseries::Tsdb store;
+  timeseries::ScraperOptions options;
+  options.interval = kMicrosecond;
+  timeseries::Scraper scraper(sim, registry, store, options);
+  scraper.start();
+  sim.run();
+  scraper.finish();
+  ScrapeSettings settings;  // no series_path
+  settings.interval = kMicrosecond;
+  write_series_file("prog", settings, store, scraper);  // must not crash
+}
+
+TEST(WriteSeriesFileTest, ZeroScrapeRunWritesValidJson) {
+  sim::Simulator sim;
+  telemetry::Registry registry;
+  registry.counter("c");
+  timeseries::Tsdb store;
+  timeseries::ScraperOptions options;
+  options.interval = 10 * kMicrosecond;
+  timeseries::Scraper scraper(sim, registry, store, options);
+  scraper.start();
+  sim.run();
+  scraper.finish();
+  const std::string path = testing::TempDir() + "ghs_scrape_zero.json";
+  ScrapeSettings settings;
+  settings.interval = options.interval;
+  settings.series_path = path;
+  write_series_file("prog", settings, store, scraper);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("ghs-series-v1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ghs::bench

@@ -1,0 +1,113 @@
+// Fleet-level attribution: one recorder shared by every node of a
+// cluster must charge transfers, steals, drains, and journal replays to
+// the right phases and reconcile with the cluster's telemetry totals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ghs/cluster/cluster.hpp"
+#include "ghs/fault/plan.hpp"
+#include "ghs/profile/recorder.hpp"
+#include "ghs/serve/loadgen.hpp"
+#include "ghs/util/rng.hpp"
+
+namespace ghs::profile {
+namespace {
+
+std::vector<serve::Job> sharded_jobs(const cluster::Cluster& fleet,
+                                     double remote_fraction,
+                                     int tenants = 16) {
+  serve::OpenLoopOptions options;
+  options.shape.min_log2_elements = 16;
+  options.shape.max_log2_elements = 20;
+  options.rate_hz = 400000.0;
+  options.jobs = 200;
+  options.seed = 42;
+  auto jobs = serve::open_loop_poisson(options);
+  Rng remote_rng(options.seed ^ 0xD15C0FF5E7ULL);
+  for (auto& job : jobs) {
+    job.tenant = static_cast<std::int64_t>(
+        cluster::mix64(static_cast<std::uint64_t>(job.id)) %
+        static_cast<std::uint64_t>(tenants));
+    if (remote_fraction > 0.0 &&
+        remote_rng.next_double() < remote_fraction) {
+      job.source_node =
+          fleet.router().ring().owner(static_cast<std::uint64_t>(job.tenant));
+    }
+  }
+  return jobs;
+}
+
+TEST(ClusterProfileTest, ConservesAcrossNodesAndTransfers) {
+  serve::ServiceModel model;
+  Recorder recorder;
+  cluster::ClusterOptions options;
+  options.nodes = 4;
+  options.router = cluster::RouterPolicy::kLeast;
+  options.node.profile = &recorder;
+  cluster::Cluster fleet(model, options);
+  fleet.submit_all(sharded_jobs(fleet, /*remote_fraction=*/0.5));
+  fleet.run();
+
+  const auto totals = fleet.conservation_totals();
+  EXPECT_GT(totals.transfer_bytes, 0);
+  EXPECT_TRUE(recorder.ledger().check(totals).ok());
+
+  // Attribution keys span multiple nodes and carry the transfer phase.
+  bool saw_remote_node = false;
+  bool saw_transfer = false;
+  for (const auto& [key, cost] : recorder.ledger().entries()) {
+    if (key.node > 0) saw_remote_node = true;
+    if (key.phase == Phase::kTransfer) {
+      saw_transfer = true;
+      EXPECT_GT(cost.bytes, 0);
+    }
+  }
+  EXPECT_TRUE(saw_remote_node);
+  EXPECT_TRUE(saw_transfer);
+}
+
+TEST(ClusterProfileTest, CrashReplayChargesReplayPhase) {
+  serve::ServiceModel model;
+  Recorder recorder;
+  cluster::ClusterOptions options;
+  options.nodes = 4;
+  options.router = cluster::RouterPolicy::kLeast;
+  options.node.profile = &recorder;
+  options.crash_plan = fault::parse_crash_plan("1@300us:2ms");
+  cluster::Cluster fleet(model, options);
+  fleet.submit_all(sharded_jobs(fleet, /*remote_fraction=*/0.3));
+  fleet.run();
+
+  const auto totals = fleet.conservation_totals();
+  EXPECT_TRUE(recorder.ledger().check(totals).ok());
+  Bytes replay_attributed = 0;
+  for (const auto& [key, cost] : recorder.ledger().entries()) {
+    if (key.phase == Phase::kReplay) replay_attributed += cost.bytes;
+  }
+  EXPECT_EQ(replay_attributed, totals.replay_bytes);
+  EXPECT_GT(replay_attributed, 0);
+}
+
+TEST(ClusterProfileTest, ReportUnchangedByRecorder) {
+  const auto run = [](Recorder* recorder) {
+    serve::ServiceModel model;
+    cluster::ClusterOptions options;
+    options.nodes = 3;
+    options.router = cluster::RouterPolicy::kP2c;
+    options.node.profile = recorder;
+    cluster::Cluster fleet(model, options);
+    fleet.submit_all(sharded_jobs(fleet, /*remote_fraction=*/0.4));
+    fleet.run();
+    std::ostringstream os;
+    fleet.report().write_json(os);
+    return os.str();
+  };
+  Recorder recorder;
+  EXPECT_EQ(run(nullptr), run(&recorder));
+}
+
+}  // namespace
+}  // namespace ghs::profile

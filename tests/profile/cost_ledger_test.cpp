@@ -1,0 +1,184 @@
+#include "ghs/profile/cost_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace ghs::profile {
+namespace {
+
+TEST(SplitProportionalTest, SharesSumToTotalExactly) {
+  const std::vector<std::int64_t> weights = {7, 13, 1, 29, 5};
+  const auto shares = split_proportional(1000003, weights);
+  ASSERT_EQ(shares.size(), weights.size());
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+            1000003);
+  // Shares track the weight ordering.
+  EXPECT_GT(shares[3], shares[1]);
+  EXPECT_GT(shares[1], shares[0]);
+  EXPECT_GT(shares[0], shares[2]);
+}
+
+TEST(SplitProportionalTest, ZeroWeightsSplitEvenly) {
+  const auto shares = split_proportional(10, {0, 0, 0});
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+            10);
+  for (const auto share : shares) {
+    EXPECT_GE(share, 3);
+    EXPECT_LE(share, 4);
+  }
+}
+
+TEST(SplitProportionalTest, ExhaustiveSmallTotalsNeverDrift) {
+  // Property sweep: every (total, weights) pair must conserve exactly.
+  const std::vector<std::vector<std::int64_t>> weight_sets = {
+      {1}, {1, 1}, {1, 2, 3}, {1000000, 1}, {3, 0, 5}};
+  for (std::int64_t total = 0; total <= 50; ++total) {
+    for (const auto& weights : weight_sets) {
+      const auto shares = split_proportional(total, weights);
+      EXPECT_EQ(
+          std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+          total)
+          << "total=" << total;
+    }
+  }
+}
+
+CostKey gpu_kernel_key(std::int64_t tenant) {
+  CostKey key;
+  key.tenant = tenant;
+  key.op = 1;
+  key.device = Device::kGpu;
+  key.phase = Phase::kGpuKernel;
+  return key;
+}
+
+TEST(CostLedgerTest, ChargesAccumulatePerKey) {
+  CostLedger ledger;
+  ledger.charge_time(gpu_kernel_key(1), 100);
+  ledger.charge_time(gpu_kernel_key(1), 50);
+  ledger.charge_time(gpu_kernel_key(2), 25);
+  ASSERT_EQ(ledger.entries().size(), 2u);
+  EXPECT_EQ(ledger.entries().at(gpu_kernel_key(1)).time_ps, 150);
+  EXPECT_EQ(ledger.entries().at(gpu_kernel_key(1)).events, 2);
+  EXPECT_EQ(ledger.tenant_busy_ps().at(1), 150);
+  EXPECT_EQ(ledger.tenant_busy_ps().at(2), 25);
+  EXPECT_EQ(ledger.op_busy_ps().at(1), 175);
+}
+
+TEST(CostLedgerTest, WaitPhasesStayOutOfBusyTotals) {
+  CostLedger ledger;
+  CostKey wait;
+  wait.tenant = 3;
+  wait.phase = Phase::kQueueWait;  // device kNone
+  ledger.charge_time(wait, 1000);
+  EXPECT_TRUE(ledger.tenant_busy_ps().empty());
+  ConservationTotals telemetry;  // all zero
+  EXPECT_TRUE(ledger.check(telemetry).ok());
+}
+
+TEST(CostLedgerTest, CheckFlagsLeakedTime) {
+  CostLedger ledger;
+  ledger.charge_time(gpu_kernel_key(1), 100);
+  ConservationTotals telemetry;
+  telemetry.gpu_busy_ps = 100;
+  EXPECT_TRUE(ledger.check(telemetry).ok());
+  // One-tick tolerance covers integer rounding at charge sites...
+  telemetry.gpu_busy_ps = 101;
+  EXPECT_TRUE(ledger.check(telemetry).ok());
+  // ...but a real leak fails.
+  telemetry.gpu_busy_ps = 150;
+  EXPECT_FALSE(ledger.check(telemetry).ok());
+}
+
+TEST(CostLedgerTest, CheckFlagsLeakedBytes) {
+  CostLedger ledger;
+  CostKey transfer;
+  transfer.tenant = 1;
+  transfer.phase = Phase::kTransfer;
+  ledger.charge_bytes(transfer, 4096);
+  ConservationTotals telemetry;
+  telemetry.transfer_bytes = 4096;
+  EXPECT_TRUE(ledger.check(telemetry).ok());
+  // Bytes are exact: even one off fails.
+  telemetry.transfer_bytes = 4097;
+  EXPECT_FALSE(ledger.check(telemetry).ok());
+}
+
+TEST(CostLedgerTest, StealDrainAndReplayBytesBucketCorrectly) {
+  CostLedger ledger;
+  CostKey key;
+  key.tenant = 1;
+  key.phase = Phase::kSteal;
+  ledger.charge_bytes(key, 100);
+  key.phase = Phase::kDrain;
+  ledger.charge_bytes(key, 200);
+  key.phase = Phase::kReplay;
+  ledger.charge_bytes(key, 300);
+  ConservationTotals telemetry;
+  telemetry.transfer_bytes = 300;  // steal + drain
+  telemetry.replay_bytes = 300;
+  EXPECT_TRUE(ledger.check(telemetry).ok());
+}
+
+TEST(CostLedgerTest, JsonIsDeterministicAndSorted) {
+  const auto build = [](CostLedger& ledger) {
+    // Insertion order differs between the two ledgers; output must not.
+    ledger.charge_time(gpu_kernel_key(2), 50);
+    ledger.charge_time(gpu_kernel_key(1), 100);
+  };
+  const auto render = [](const CostLedger& ledger) {
+    ConservationTotals telemetry;
+    telemetry.gpu_busy_ps = 150;
+    std::ostringstream os;
+    ledger.write_json(os, telemetry);
+    return os.str();
+  };
+  CostLedger a;
+  build(a);
+  CostLedger b;
+  b.charge_time(gpu_kernel_key(1), 100);
+  b.charge_time(gpu_kernel_key(2), 50);
+  EXPECT_EQ(render(a), render(b));
+  const std::string json = render(a);
+  // tenant 1 sorts before tenant 2.
+  EXPECT_LT(json.find("\"tenant\":1"), json.find("\"tenant\":2"));
+  EXPECT_NE(json.find("\"conservation\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(CostLedgerTest, TableListsTopSpenders) {
+  CostLedger ledger;
+  ledger.charge_time(gpu_kernel_key(7), 5 * kMillisecond);
+  ledger.charge_time(gpu_kernel_key(8), 1 * kMillisecond);
+  std::ostringstream os;
+  ledger.write_table(os, 1);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("tenant 7"), std::string::npos);
+  // top_k=1 keeps the smaller spender out.
+  EXPECT_EQ(table.find("tenant 8"), std::string::npos);
+}
+
+TEST(CostLedgerTest, PhaseAndDeviceNamesAreStable) {
+  // These strings are documented in docs/OBSERVABILITY.md and appear in
+  // folded stacks; renaming one silently breaks downstream flamegraph
+  // tooling, so pin them.
+  EXPECT_STREQ(phase_name(Phase::kGpuKernel), "gpu.kernel");
+  EXPECT_STREQ(phase_name(Phase::kCpuKernel), "cpu.reduce");
+  EXPECT_STREQ(phase_name(Phase::kUmMigrate), "um.migrate");
+  EXPECT_STREQ(phase_name(Phase::kQueueWait), "queue.wait");
+  EXPECT_STREQ(phase_name(Phase::kRetryBackoff), "retry.backoff");
+  EXPECT_STREQ(phase_name(Phase::kLaunchFailed), "launch.failed");
+  EXPECT_STREQ(phase_name(Phase::kTransfer), "interconnect.transfer");
+  EXPECT_STREQ(phase_name(Phase::kSteal), "interconnect.steal");
+  EXPECT_STREQ(phase_name(Phase::kDrain), "interconnect.drain");
+  EXPECT_STREQ(phase_name(Phase::kReplay), "journal.replay");
+  EXPECT_STREQ(device_name(Device::kGpu), "gpu");
+  EXPECT_STREQ(device_name(Device::kCpu), "cpu");
+  EXPECT_STREQ(device_name(Device::kNone), "none");
+}
+
+}  // namespace
+}  // namespace ghs::profile
